@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark prints the rows/series the paper reports (visible with
+``pytest benchmarks/ --benchmark-only -s``) and stores the same numbers
+in ``benchmark.extra_info`` for machine consumption.
+"""

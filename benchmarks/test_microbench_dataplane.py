@@ -1,0 +1,105 @@
+"""Microbenchmarks — per-operation cost of the data-plane substrate.
+
+Sanity checks that the structures behind the boosters are cheap enough
+for the simulator to sustain the experiment workloads, and a place to
+catch accidental algorithmic regressions (these run with real
+pytest-benchmark statistics, unlike the single-shot scenario benches).
+"""
+
+import random
+
+import pytest
+
+from repro.core import ModeRegistry, ModeSpec, ModeTable
+from repro.dataplane import (BloomFilter, CountMinSketch, FecDecoder,
+                             FecEncoder, FlowTable, HashPipe)
+from repro.netsim import (Path, Simulator, Topology, make_flow,
+                          max_min_allocate)
+
+KEYS = [f"10.0.{i % 256}.{i // 256}" for i in range(10_000)]
+
+
+def test_sketch_update(benchmark):
+    sketch = CountMinSketch("bench", width=2048, depth=4)
+    counter = iter(range(10**9))
+    benchmark(lambda: sketch.update(KEYS[next(counter) % len(KEYS)]))
+
+
+def test_sketch_estimate(benchmark):
+    sketch = CountMinSketch("bench", width=2048, depth=4)
+    for key in KEYS[:2000]:
+        sketch.update(key)
+    benchmark(lambda: sketch.estimate(KEYS[123]))
+
+
+def test_bloom_add_and_query(benchmark):
+    bloom = BloomFilter("bench", size_bits=1 << 16, n_hashes=4)
+    for key in KEYS[:2000]:
+        bloom.add(key)
+    benchmark(lambda: KEYS[1500] in bloom)
+
+
+def test_hashpipe_update(benchmark):
+    pipe = HashPipe("bench", stages=4, slots_per_stage=256)
+    counter = iter(range(10**9))
+    benchmark(lambda: pipe.update(KEYS[next(counter) % 512]))
+
+
+def test_flow_table_observe(benchmark):
+    table = FlowTable("bench", capacity=8192)
+    counter = iter(range(10**9))
+
+    def observe():
+        index = next(counter)
+        table.observe(KEYS[index % 4000], now=index * 1e-5,
+                      size_bytes=1000)
+
+    benchmark(observe)
+
+
+def test_fec_encode_decode_roundtrip(benchmark):
+    words = list(range(256))
+    encoder = FecEncoder(group_size=4)
+    decoder = FecDecoder(group_size=4)
+
+    def roundtrip():
+        symbols = encoder.encode(words)
+        decoded, _ = decoder.decode(symbols, len(words))
+        return decoded
+
+    result = benchmark(roundtrip)
+    assert result == words
+
+
+def test_mode_table_apply(benchmark):
+    registry = ModeRegistry()
+    registry.register(ModeSpec.of("mitigate", "lfa", ("a",)))
+    table = ModeTable(registry)
+    counter = iter(range(10**9))
+    benchmark(lambda: table.apply("lfa", "mitigate", next(counter) + 1))
+
+
+def test_max_min_allocation_medium(benchmark):
+    """One fluid allocation pass over 60 flows on a tandem network
+    (the figure-3 inner loop runs 100x per simulated second)."""
+    sim = Simulator(seed=0)
+    topo = Topology(sim)
+    topo.add_switch("s1")
+    topo.add_switch("s2")
+    topo.add_switch("s3")
+    topo.add_duplex_link("s1", "s2", 10e9, 0.001)
+    topo.add_duplex_link("s2", "s3", 10e9, 0.001)
+    for i in range(30):
+        topo.attach_host(f"a{i}", "s1")
+        topo.attach_host(f"b{i}", "s3")
+    rng = random.Random(1)
+    flows = []
+    for i in range(60):
+        src, dst = f"a{i % 30}", f"b{(i * 7) % 30}"
+        flow = make_flow(src, dst, rng.uniform(1e8, 2e9),
+                         weight=rng.choice([1.0, 50.0]), sport=i)
+        flow.set_path(Path.of([src, "s1", "s2", "s3", dst]))
+        flows.append(flow)
+
+    result = benchmark(lambda: max_min_allocate(topo, flows))
+    assert all(rate >= 0 for rate in result.rates.values())

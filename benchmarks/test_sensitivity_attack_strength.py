@@ -1,0 +1,56 @@
+"""Sensitivity — attack strength sweep (where the crossover falls).
+
+The Figure 3 gap should grow with attack strength: a weak flood barely
+hurts the baseline (TE absorbs it), while a strong one collapses it; the
+FastFlex line stays flat throughout.  This sweep varies the per-bot
+connection count and records both systems' means.
+"""
+
+import pytest
+
+from repro.experiments.figure3 import (Figure3Config, run_baseline,
+                                       run_fastflex)
+
+#: connections per bot: 6 bots x conns x 10 Mbps of offered attack load.
+STRENGTHS = {
+    "weak": 50,       # 3 Gbps — below the critical-link capacity
+    "paper": 200,     # 12 Gbps — the Figure 3 operating point
+    "strong": 400,    # 24 Gbps
+}
+
+
+def run_pair(connections_per_bot):
+    config = Figure3Config(duration_s=40.0,
+                           connections_per_bot=connections_per_bot)
+    baseline = run_baseline(config)
+    fastflex = run_fastflex(config)
+    return (baseline.mean_during_attack(config),
+            fastflex.mean_during_attack(config))
+
+
+def test_strength_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: run_pair(conns)
+                 for name, conns in STRENGTHS.items()},
+        rounds=1, iterations=1)
+    print()
+    print(f"{'attack':>8}{'offered':>10}{'baseline':>10}{'fastflex':>10}")
+    for name, conns in STRENGTHS.items():
+        base, fast = results[name]
+        offered = 6 * conns * 10e6 / 1e9
+        print(f"{name:>8}{offered:>9.1f}G{base:>10.1%}{fast:>10.1%}")
+
+    weak_base, weak_fast = results["weak"]
+    paper_base, paper_fast = results["paper"]
+    strong_base, strong_fast = results["strong"]
+
+    # FastFlex flat across strengths.
+    assert min(weak_fast, paper_fast, strong_fast) > 0.9
+    # Baseline damage grows with strength (weak attack under capacity
+    # barely registers; strong attack collapses it).
+    assert weak_base > 0.9, "a sub-capacity flood should not hurt"
+    assert paper_base < 0.75
+    assert strong_base <= paper_base + 0.05
+    benchmark.extra_info.update(
+        {name: {"baseline": round(b, 3), "fastflex": round(f, 3)}
+         for name, (b, f) in results.items()})

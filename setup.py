@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package
+(this environment is offline and cannot fetch build dependencies)."""
+
+from setuptools import setup
+
+setup()

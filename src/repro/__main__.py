@@ -1,0 +1,54 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Subcommands regenerate the paper's figures:
+
+* ``figure1`` — the merge/place/scale pipeline report.
+* ``figure2`` — the multimode sequence and mixed-vector regions.
+* ``figure3`` — the FastFlex vs. SDN baseline throughput series.
+* ``all``     — everything, in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FastFlex (HotNets '19) reproduction experiments")
+    parser.add_argument(
+        "experiment", choices=["figure1", "figure2", "figure3", "all"],
+        help="which figure to regenerate")
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="override the figure3 horizon in seconds (default 120)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the figure3 random seed")
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("figure1", "all"):
+        from .experiments.figure1 import format_report
+        print(format_report())
+        print()
+    if args.experiment in ("figure2", "all"):
+        from .experiments import figure2
+        figure2.main()
+        print()
+    if args.experiment in ("figure3", "all"):
+        from .experiments.figure3 import (Figure3Config, format_report,
+                                          run_both)
+        overrides = {}
+        if args.duration is not None:
+            overrides["duration_s"] = args.duration
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        config = Figure3Config(**overrides)
+        print(format_report(run_both(config), config))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

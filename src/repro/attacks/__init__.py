@@ -1,0 +1,18 @@
+"""Attack models: Crossfire LFA, rolling LFA, pulsing, volumetric DDoS,
+and multi-vector combinations.  Attackers control endpoints only; they
+observe the network through traceroute and their own goodput."""
+
+from .base import AttackEvent, Attacker
+from .coremelt import CoremeltAttacker
+from .crossfire import CrossfireAttacker
+from .pulsing import PulsingAttacker
+from .rolling import RollingAttacker
+from .volumetric import (MultiVectorAttacker, VolumetricDdosAttacker,
+                         attack_packet_stream)
+
+__all__ = [
+    "AttackEvent", "Attacker", "CoremeltAttacker", "CrossfireAttacker",
+    "MultiVectorAttacker",
+    "PulsingAttacker", "RollingAttacker", "VolumetricDdosAttacker",
+    "attack_packet_stream",
+]

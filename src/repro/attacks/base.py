@@ -1,0 +1,63 @@
+"""Common attacker machinery.
+
+Attackers control endpoints (bots), never the network: they launch
+flows, observe the network exactly the way a real adversary can —
+traceroute replies and their own flows' goodput — and adapt.  Ground
+truth (``Flow.malicious``) is set for evaluation only; no defense code
+reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..netsim.flows import Flow
+from ..netsim.fluid import FluidNetwork
+from ..netsim.topology import Topology
+
+
+@dataclass
+class AttackEvent:
+    """Something the attacker did or perceived (for experiment logs)."""
+
+    time: float
+    kind: str           # "launch", "roll", "pause", "resume", "perceived_success"
+    detail: str = ""
+
+
+class Attacker:
+    """Base class: flow bookkeeping and the event log."""
+
+    def __init__(self, topo: Topology, fluid: FluidNetwork):
+        self.topo = topo
+        self.fluid = fluid
+        self.sim = topo.sim
+        self.flows: List[Flow] = []
+        self.events: List[AttackEvent] = []
+
+    def log(self, kind: str, detail: str = "") -> None:
+        self.events.append(AttackEvent(self.sim.now, kind, detail))
+
+    def register_flow(self, flow: Flow) -> Flow:
+        flow.malicious = True
+        self.fluid.flows.add(flow)
+        self.flows.append(flow)
+        return flow
+
+    def stop_all_flows(self) -> None:
+        now = self.sim.now
+        for flow in self.flows:
+            if flow.end_time is None or flow.end_time > now:
+                flow.end_time = now
+
+    def attack_goodput(self) -> float:
+        now = self.sim.now
+        return sum(f.goodput_bps for f in self.flows if f.active(now))
+
+    def attack_offered(self) -> float:
+        now = self.sim.now
+        return sum(f.demand_bps for f in self.flows if f.active(now))
+
+    def rolls(self) -> List[AttackEvent]:
+        return [e for e in self.events if e.kind == "roll"]

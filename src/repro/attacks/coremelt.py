@@ -1,0 +1,75 @@
+"""The Coremelt attack ([74], cited alongside Crossfire in §1 and §4).
+
+Coremelt differs from Crossfire in a crucial way: the bots send traffic
+*to each other*, so there is no victim endpoint at all — only the
+network core suffers.  N bots yield O(N^2) bot pairs; the attacker
+selects the pairs whose paths cross the target link and drives
+legitimate-looking traffic between them.
+
+Defense-wise this exercises the paper's "the network is the end" class:
+only an in-network defense can even see the problem, since every
+endpoint involved is attacker-controlled and perfectly happy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..netsim.flows import make_flow
+from ..netsim.fluid import FluidNetwork
+from ..netsim.routing import NoRouteError, default_path_for
+from ..netsim.topology import Topology
+from .base import Attacker
+
+
+class CoremeltAttacker(Attacker):
+    """Pairwise bot-to-bot flooding of a target core link."""
+
+    def __init__(self, topo: Topology, fluid: FluidNetwork,
+                 left_bots: List[str], right_bots: List[str],
+                 connections_per_pair: int = 100,
+                 per_connection_bps: float = 10e6):
+        super().__init__(topo, fluid)
+        if not left_bots or not right_bots:
+            raise ValueError("Coremelt needs bots on both sides of "
+                             "the core")
+        self.left_bots = list(left_bots)
+        self.right_bots = list(right_bots)
+        self.connections_per_pair = connections_per_pair
+        self.per_connection_bps = per_connection_bps
+        self.target_link: Optional[Tuple[str, str]] = None
+
+    # ------------------------------------------------------------------
+    def eligible_pairs(self, target_link: Tuple[str, str]) -> List[tuple]:
+        """Bot pairs whose current network path crosses the target."""
+        pairs = []
+        for left in self.left_bots:
+            for right in self.right_bots:
+                try:
+                    path = default_path_for(self.topo, left, right)
+                except NoRouteError:
+                    continue
+                if target_link in path.links():
+                    pairs.append((left, right, path))
+        return pairs
+
+    def launch(self, target_link: Tuple[str, str],
+               start_delay: float = 0.0) -> int:
+        """Start pairwise flows over the target link; returns how many
+        pairs the attacker could aim at it."""
+        self.target_link = target_link
+        pairs = self.eligible_pairs(target_link)
+        start = self.sim.now + start_delay
+        for index, (left, right, path) in enumerate(pairs):
+            flow = make_flow(
+                left, right,
+                demand_bps=self.connections_per_pair
+                * self.per_connection_bps,
+                weight=float(self.connections_per_pair),
+                sport=30_000 + index, start_time=start)
+            flow.set_path(path)
+            self.register_flow(flow)
+        self.log("launch",
+                 f"coremelt: {len(pairs)} bot pairs over "
+                 f"{target_link[0]}->{target_link[1]}")
+        return len(pairs)

@@ -1,0 +1,130 @@
+"""The Crossfire link-flooding attack ([44], §4).
+
+The attack proceeds exactly as the paper describes it:
+
+1. **Map** — the adversary traceroutes from bots to public (decoy)
+   servers near the victim, assembling the reported victim-ward paths
+   and identifying the critical link(s) that carry them.
+2. **Flood** — each bot opens *many individually legitimate, low-rate
+   TCP connections* to the decoys (one weighted elastic flow per
+   bot-decoy assignment in the fluid model), collectively saturating the
+   target link while every connection stays indistinguishable from a
+   slow web client.
+
+The attacker can choose bot/decoy pairs so that their connections
+traverse the intended link; we realize that ability by pinning each
+attack flow onto the traceroute-reported victim-ward path with the decoy
+substituted as the endpoint (see DESIGN.md).  The network remains free
+to reroute those flows afterward — the attacker controls endpoints, not
+switches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..netsim.flows import make_flow
+from ..netsim.fluid import FluidNetwork
+from ..netsim.routing import Path
+from ..netsim.topology import Topology
+from ..netsim.tracing import TracerouteClient, TracerouteResult
+from .base import Attacker
+
+
+class CrossfireAttacker(Attacker):
+    """Maps the victim-ward path, then floods it with low-rate flows."""
+
+    def __init__(self, topo: Topology, fluid: FluidNetwork,
+                 bots: List[str], decoys: List[str], victim: str,
+                 connections_per_bot: int = 200,
+                 per_connection_bps: float = 10e6,
+                 trace_timeout_s: float = 0.3):
+        super().__init__(topo, fluid)
+        if not bots or not decoys:
+            raise ValueError("need at least one bot and one decoy")
+        self.bots = list(bots)
+        self.decoys = list(decoys)
+        self.victim = victim
+        self.connections_per_bot = connections_per_bot
+        self.per_connection_bps = per_connection_bps
+        #: The reference tracer: the first bot probes the victim-ward path.
+        self.tracer = TracerouteClient(topo, self.bots[0],
+                                       timeout_s=trace_timeout_s)
+        #: The victim-ward path as last reported by traceroute.
+        self.observed_path: Optional[List[str]] = None
+        #: The path the flood is currently pinned along (switch hops).
+        self.target_hops: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # Phase 1: mapping
+    # ------------------------------------------------------------------
+    def map_then_attack(self, start_delay: float = 0.0) -> None:
+        """Traceroute the victim-ward path, then launch the flood."""
+        self.sim.schedule(start_delay, self._map)
+
+    def _map(self) -> None:
+        self.tracer.trace(self.victim, callback=self._on_mapped)
+
+    def _on_mapped(self, result: TracerouteResult) -> None:
+        hops = self._switch_hops(result)
+        if not hops:
+            # Mapping failed (lost probes); retry shortly.
+            self.sim.schedule(0.5, self._map)
+            return
+        self.observed_path = hops
+        self.target_hops = hops
+        self.log("launch", f"target path {'->'.join(hops)}")
+        self.launch_flood(hops)
+
+    def _switch_hops(self, result: TracerouteResult) -> List[str]:
+        """The reported path's switch hops (drop the destination entry)."""
+        path = result.path
+        if result.reached and path and path[-1] == result.dst:
+            path = path[:-1]
+        switch_names = set(self.topo.switch_names)
+        return [hop for hop in path if hop in switch_names]
+
+    @property
+    def target_link(self) -> Optional[Tuple[str, str]]:
+        """The last switch-switch hop of the pinned path — the critical
+        link the flood lands on."""
+        if self.target_hops is None or len(self.target_hops) < 2:
+            return None
+        return (self.target_hops[-2], self.target_hops[-1])
+
+    # ------------------------------------------------------------------
+    # Phase 2: flooding
+    # ------------------------------------------------------------------
+    def launch_flood(self, hops: List[str]) -> None:
+        """Start one weighted flow per bot along the mapped path."""
+        for index, bot in enumerate(self.bots):
+            decoy = self.decoys[index % len(self.decoys)]
+            flow = make_flow(
+                bot, decoy,
+                demand_bps=self.connections_per_bot * self.per_connection_bps,
+                weight=float(self.connections_per_bot),
+                sport=1024 + index, dport=80,
+                start_time=self.sim.now)
+            flow.set_path(self._pin_path(bot, decoy, hops))
+            self.register_flow(flow)
+
+    def repin_flood(self, hops: List[str]) -> None:
+        """Move the existing flood onto a new victim-ward path."""
+        self.target_hops = hops
+        now = self.sim.now
+        for flow in self.flows:
+            if flow.active(now):
+                flow.set_path(self._pin_path(flow.src, flow.dst, hops))
+
+    def _pin_path(self, bot: str, decoy: str, hops: List[str]) -> Path:
+        """[bot] + reported switch hops + [decoy].
+
+        The decoy attaches to the same edge as the victim; if the mapped
+        path's last switch is not the decoy's gateway, extend it.
+        """
+        gateway = self.topo.host(decoy).gateway
+        nodes = [bot] + list(hops)
+        if nodes[-1] != gateway:
+            nodes.append(gateway)
+        nodes.append(decoy)
+        return Path.of(nodes)

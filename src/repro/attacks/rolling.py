@@ -1,0 +1,104 @@
+"""Rolling link-flooding attacks ([44, 80], §4).
+
+The rolling attacker extends Crossfire with the feedback loop that
+defeats reactive TE: it periodically re-traceroutes the victim-ward path
+and, whenever the *reported* path differs from the one its flood is
+pinned on, concludes a routing change happened and rolls — re-pinning
+the flood onto wherever the victim's traffic now flows.  Because
+centralized TE reacts on a timescale of minutes, each roll buys the
+attacker another window of damage.
+
+Against FastFlex the loop breaks twice over: topology obfuscation keeps
+the reported path frozen at the pre-attack view (no change to detect),
+and the packet-dropping booster's "illusion of success" — the attacker
+sees its connections starving, which looks like a working attack — is a
+positive reason to stay put.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..netsim.fluid import FluidNetwork
+from ..netsim.topology import Topology
+from ..netsim.tracing import TracerouteResult
+from .crossfire import CrossfireAttacker
+
+
+class RollingAttacker(CrossfireAttacker):
+    """Crossfire plus the detect-and-roll loop."""
+
+    def __init__(self, topo: Topology, fluid: FluidNetwork,
+                 bots: List[str], decoys: List[str], victim: str,
+                 check_period_s: float = 1.0,
+                 reaction_delay_s: float = 1.0,
+                 max_rolls: Optional[int] = None,
+                 **crossfire_kwargs):
+        super().__init__(topo, fluid, bots, decoys, victim,
+                         **crossfire_kwargs)
+        self.check_period_s = check_period_s
+        #: Time between noticing a change and completing the re-pin
+        #: (attacker-side orchestration latency).
+        self.reaction_delay_s = reaction_delay_s
+        self.max_rolls = max_rolls
+        self.roll_count = 0
+        self.perceived_success = False
+        self._checking = False
+        self._roll_pending = False
+
+    # ------------------------------------------------------------------
+    def map_then_attack(self, start_delay: float = 0.0) -> None:
+        super().map_then_attack(start_delay)
+        self.sim.every(self.check_period_s, self._periodic_check,
+                       start=start_delay + self.check_period_s)
+
+    def _periodic_check(self) -> None:
+        if (self.target_hops is None or self._checking
+                or self._roll_pending):
+            return
+        if self.max_rolls is not None and self.roll_count >= self.max_rolls:
+            return
+        self._checking = True
+        self.tracer.trace(self.victim, callback=self._on_check_result)
+
+    # ------------------------------------------------------------------
+    def _on_check_result(self, result: TracerouteResult) -> None:
+        self._checking = False
+        hops = self._switch_hops(result)
+        if not hops or self.target_hops is None:
+            return
+        if hops == self.target_hops:
+            # No routing change visible.  If our connections are starving
+            # anyway, the attack *looks* like it is working (the illusion
+            # of success) — stay the course.
+            if self._flows_starving() and not self.perceived_success:
+                self.perceived_success = True
+                self.log("perceived_success",
+                         "connections starving on an unchanged path")
+            return
+        # The network moved the victim-ward path: roll onto it.
+        self._roll_pending = True
+        self.log("roll_detected",
+                 f"path changed {'->'.join(self.target_hops)} => "
+                 f"{'->'.join(hops)}")
+        self.sim.schedule(self.reaction_delay_s, self._complete_roll, hops)
+
+    def _complete_roll(self, hops: List[str]) -> None:
+        self._roll_pending = False
+        if self.max_rolls is not None and self.roll_count >= self.max_rolls:
+            return
+        self.roll_count += 1
+        self.perceived_success = False
+        self.repin_flood(hops)
+        self.log("roll", f"round {self.roll_count}: now flooding "
+                         f"{'->'.join(hops)}")
+
+    # ------------------------------------------------------------------
+    def _flows_starving(self) -> bool:
+        """Do our connections get only a trickle of their demand?"""
+        now = self.sim.now
+        offered = sum(f.demand_bps for f in self.flows if f.active(now))
+        if offered <= 0:
+            return False
+        achieved = sum(f.goodput_bps for f in self.flows if f.active(now))
+        return achieved < 0.25 * offered

@@ -1,0 +1,101 @@
+"""Volumetric and multi-vector DDoS attacks ([12, 31, 34, 70]).
+
+Volumetric floods are the classic high-rate UDP barrage against an
+endpoint: inelastic flows that do not back off, detectable as heavy
+hitters.  The multi-vector attacker combines a volumetric flood with a
+simultaneous LFA elsewhere in the network — the Figure 2 caption's
+"mixed-vector attacks would trigger co-existing modes at different
+regions" scenario, exercised by the Figure 2 benchmark.
+
+Besides fluid flows, this module offers a packet-stream generator for
+the packet-level boosters (HashPipe, hop-count filter): synthetic DATA
+packets with a configurable mix of attack and background sources.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from ..netsim.flows import make_flow
+from ..netsim.fluid import FluidNetwork
+from ..netsim.packet import Packet, Protocol
+from ..netsim.routing import shortest_path
+from ..netsim.topology import Topology
+from .base import Attacker
+from .crossfire import CrossfireAttacker
+
+
+class VolumetricDdosAttacker(Attacker):
+    """High-rate inelastic (UDP) flood straight at the victim."""
+
+    def __init__(self, topo: Topology, fluid: FluidNetwork,
+                 bots: List[str], victim: str,
+                 rate_per_bot_bps: float = 5e9):
+        super().__init__(topo, fluid)
+        self.bots = list(bots)
+        self.victim = victim
+        self.rate_per_bot_bps = rate_per_bot_bps
+
+    def launch(self, start_delay: float = 0.0,
+               duration_s: Optional[float] = None) -> None:
+        start = self.sim.now + start_delay
+        end = None if duration_s is None else start + duration_s
+        for index, bot in enumerate(self.bots):
+            flow = make_flow(
+                bot, self.victim, demand_bps=self.rate_per_bot_bps,
+                proto=Protocol.UDP, elastic=False,
+                sport=4096 + index, dport=53,
+                start_time=start, end_time=end)
+            flow.set_path(shortest_path(self.topo, bot, self.victim))
+            self.register_flow(flow)
+        self.log("launch", f"{len(self.bots)} bots x "
+                           f"{self.rate_per_bot_bps / 1e9:.1f} Gbps UDP")
+
+
+class MultiVectorAttacker:
+    """LFA in one region plus a volumetric flood in another."""
+
+    def __init__(self, topo: Topology, fluid: FluidNetwork,
+                 lfa_bots: List[str], decoys: List[str], lfa_victim: str,
+                 ddos_bots: List[str], ddos_victim: str,
+                 **crossfire_kwargs):
+        self.lfa = CrossfireAttacker(topo, fluid, lfa_bots, decoys,
+                                     lfa_victim, **crossfire_kwargs)
+        self.ddos = VolumetricDdosAttacker(topo, fluid, ddos_bots,
+                                           ddos_victim)
+
+    def launch(self, lfa_delay_s: float = 0.0,
+               ddos_delay_s: float = 0.0) -> None:
+        self.lfa.map_then_attack(start_delay=lfa_delay_s)
+        self.ddos.launch(start_delay=ddos_delay_s)
+
+
+def attack_packet_stream(rng: random.Random, attack_sources: List[str],
+                         background_sources: List[str], victim: str,
+                         n_packets: int, attack_fraction: float = 0.8,
+                         attack_size_bytes: int = 1200,
+                         background_size_bytes: int = 400,
+                         spoof_ttl: bool = False) -> Iterator[Packet]:
+    """Synthetic per-packet workload for packet-level boosters.
+
+    ``spoof_ttl=True`` randomizes attack packets' TTLs (spoofed sources
+    at fake distances) — the hop-count filter's target workload.
+    """
+    if not 0 <= attack_fraction <= 1:
+        raise ValueError("attack_fraction must be in [0, 1]")
+    if not attack_sources or not background_sources:
+        raise ValueError("need both attack and background sources")
+    for index in range(n_packets):
+        is_attack = rng.random() < attack_fraction
+        if is_attack:
+            src = rng.choice(attack_sources)
+            size = attack_size_bytes
+            ttl = rng.randint(4, 60) if spoof_ttl else 60
+        else:
+            src = rng.choice(background_sources)
+            size = background_size_bytes
+            ttl = 60
+        yield Packet(src=src, dst=victim, size_bytes=size,
+                     proto=Protocol.UDP, sport=1024 + index % 64000,
+                     dport=53 if is_attack else 80, ttl=ttl)

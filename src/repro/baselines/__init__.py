@@ -1,0 +1,5 @@
+"""Baseline defenses the paper compares against."""
+
+from .sdn_te import ReconfigRecord, SdnTeDefense
+
+__all__ = ["ReconfigRecord", "SdnTeDefense"]

@@ -1,0 +1,95 @@
+"""Shared helpers for authoring boosters.
+
+Boosters declare their PPMs through these builders so the analyzer sees
+uniform semantic parameters: two boosters that both declare a
+``sketch_ppm(width=1024, depth=4)`` — whatever they name it — get one
+shared sketch installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from ..dataplane.bloom import BloomFilter
+from ..dataplane.flow_table import FlowTable
+from ..dataplane.hashpipe import HashPipe
+from ..dataplane.parser import HeaderParser
+from ..dataplane.resources import ResourceVector
+from ..dataplane.sketch import CountMinSketch
+from ..core.ppm import PpmKind, PpmRole, PpmSpec
+
+
+def parser_ppm(booster: str, name: str, base: Iterable[str] = (),
+               custom: Iterable[str] = (),
+               factory: Optional[Callable] = None) -> PpmSpec:
+    parser = HeaderParser.of(f"{booster}.{name}", base, custom)
+    return PpmSpec(
+        name=name, kind=PpmKind.PARSER, role=PpmRole.SUPPORT,
+        requirement=parser.resource_requirement(),
+        params={"base_fields": tuple(sorted(parser.base_fields)),
+                "custom_fields": tuple(sorted(parser.custom_fields))},
+        factory=factory, booster=booster)
+
+
+def sketch_ppm(booster: str, name: str, width: int = 1024, depth: int = 4,
+               role: PpmRole = PpmRole.DETECTION,
+               factory: Optional[Callable] = None, **impl: Any) -> PpmSpec:
+    probe = CountMinSketch("sizing", width=width, depth=depth)
+    params: Dict[str, Any] = {"width": width, "depth": depth}
+    params.update({f"_{k}": v for k, v in impl.items()})
+    return PpmSpec(name=name, kind=PpmKind.SKETCH, role=role,
+                   requirement=probe.resource_requirement(),
+                   params=params, factory=factory, booster=booster)
+
+
+def bloom_ppm(booster: str, name: str, size_bits: int = 8192,
+              n_hashes: int = 4, role: PpmRole = PpmRole.MITIGATION,
+              factory: Optional[Callable] = None, **impl: Any) -> PpmSpec:
+    probe = BloomFilter("sizing", size_bits=size_bits, n_hashes=n_hashes)
+    params: Dict[str, Any] = {"size_bits": size_bits, "n_hashes": n_hashes}
+    params.update({f"_{k}": v for k, v in impl.items()})
+    return PpmSpec(name=name, kind=PpmKind.BLOOM, role=role,
+                   requirement=probe.resource_requirement(),
+                   params=params, factory=factory, booster=booster)
+
+
+def hashpipe_ppm(booster: str, name: str, stages: int = 4,
+                 slots_per_stage: int = 64,
+                 role: PpmRole = PpmRole.DETECTION,
+                 factory: Optional[Callable] = None, **impl: Any) -> PpmSpec:
+    probe = HashPipe("sizing", stages=stages, slots_per_stage=slots_per_stage)
+    params: Dict[str, Any] = {"stages": stages,
+                              "slots_per_stage": slots_per_stage}
+    params.update({f"_{k}": v for k, v in impl.items()})
+    return PpmSpec(name=name, kind=PpmKind.HASHPIPE, role=role,
+                   requirement=probe.resource_requirement(),
+                   params=params, factory=factory, booster=booster)
+
+
+def flow_table_ppm(booster: str, name: str, capacity: int = 4096,
+                   key_fields: Iterable[str] = ("src", "dst", "proto",
+                                                "sport", "dport"),
+                   role: PpmRole = PpmRole.DETECTION,
+                   factory: Optional[Callable] = None, **impl: Any) -> PpmSpec:
+    probe = FlowTable("sizing", capacity=capacity)
+    params: Dict[str, Any] = {"capacity": capacity,
+                              "key_fields": tuple(sorted(key_fields))}
+    params.update({f"_{k}": v for k, v in impl.items()})
+    return PpmSpec(name=name, kind=PpmKind.FLOW_TABLE, role=role,
+                   requirement=probe.resource_requirement(),
+                   params=params, factory=factory, booster=booster)
+
+
+def logic_ppm(booster: str, name: str, role: PpmRole,
+              requirement: ResourceVector,
+              logic_id: Optional[str] = None,
+              factory: Optional[Callable] = None, **impl: Any) -> PpmSpec:
+    """Custom match-action logic.  Provide ``logic_id`` only when two
+    boosters intentionally share the same logic implementation."""
+    params: Dict[str, Any] = {}
+    if logic_id is not None:
+        params["logic_id"] = logic_id
+    params.update({f"_{k}": v for k, v in impl.items()})
+    return PpmSpec(name=name, kind=PpmKind.LOGIC, role=role,
+                   requirement=requirement, params=params,
+                   factory=factory, booster=booster)

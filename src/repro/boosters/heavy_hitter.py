@@ -1,0 +1,208 @@
+"""Heavy-hitter / volumetric DDoS booster (HashPipe-based, [69, 70]).
+
+Detects sources (or flows) whose byte counts dominate, entirely in the
+data plane, and — in its mitigation mode — rate-limits them.  With a
+:class:`~repro.core.sync.DetectorSyncAgent` attached, the detection
+becomes *network-wide*: each instance contributes its local HashPipe
+totals and thresholds on the merged view ([34]'s network-wide heavy
+hitters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from ..core.booster import Booster, GatedProgram
+from ..core.dataflow import DataflowGraph
+from ..core.modes import ModeSpec
+from ..core.ppm import PpmRole
+from ..dataplane.hashpipe import HashPipe
+from ..dataplane.resources import ResourceVector
+from ..netsim.packet import Packet, PacketKind
+from ..netsim.switch import Drop, ProgrammableSwitch, ProgramResult
+from .base import hashpipe_ppm, logic_ppm, parser_ppm
+
+ATTACK_TYPE = "ddos"
+FILTER_MODE = "ddos_filter"
+
+
+class HeavyHitterProgram(GatedProgram):
+    """Per-switch HashPipe counting bytes per source."""
+
+    def __init__(self, booster_name: str, name: str, stages: int = 4,
+                 slots_per_stage: int = 64):
+        pipe = HashPipe(f"{name}.pipe", stages=stages,
+                        slots_per_stage=slots_per_stage)
+        super().__init__(booster_name, name, pipe.resource_requirement())
+        self.pipe = pipe
+
+    def process_enabled(self, switch: ProgrammableSwitch,
+                        packet: Packet) -> ProgramResult:
+        if packet.kind != PacketKind.DATA:
+            return None
+        self.pipe.update(packet.src, packet.size_bytes)
+        return None
+
+    def local_counts(self) -> Dict[Hashable, float]:
+        """Counter source for a DetectorSyncAgent."""
+        return {key: float(count)
+                for key, count in self.pipe.heavy_hitters(1).items()}
+
+    def export_state(self) -> Dict:
+        return self.pipe.export_state()
+
+    def import_state(self, state: Dict) -> None:
+        self.pipe.import_state(state)
+
+
+class HeavyHitterFilterProgram(GatedProgram):
+    """Mitigation-mode filter: drops packets from flagged sources."""
+
+    def __init__(self, booster_name: str, name: str):
+        super().__init__(booster_name, name,
+                         ResourceVector(stages=1, sram_mb=0.1, alus=1))
+        self.flagged: set = set()
+        self.packets_dropped = 0
+
+    def flag(self, source: str) -> None:
+        self.flagged.add(source)
+
+    def unflag_all(self) -> None:
+        self.flagged.clear()
+
+    def process_enabled(self, switch: ProgrammableSwitch,
+                        packet: Packet) -> ProgramResult:
+        if packet.kind != PacketKind.DATA:
+            return None
+        if packet.src in self.flagged:
+            self.packets_dropped += 1
+            return Drop("heavy_hitter")
+        return None
+
+    def export_state(self) -> Dict:
+        return {"flagged": sorted(self.flagged)}
+
+    def import_state(self, state: Dict) -> None:
+        self.flagged = set(state.get("flagged", []))
+
+
+class HeavyHitterBooster(Booster):
+    """Volumetric DDoS detection (always on) + filtering (mode-gated)."""
+
+    name = "heavy_hitter"
+    attack_types = (ATTACK_TYPE,)
+
+    def __init__(self, stages: int = 4, slots_per_stage: int = 64,
+                 byte_threshold: int = 1_000_000,
+                 check_period_s: Optional[float] = None,
+                 clear_after_s: float = 5.0):
+        self.stages = stages
+        self.slots_per_stage = slots_per_stage
+        self.byte_threshold = byte_threshold
+        #: When set, a periodic detect->mode->flag loop runs on every
+        #: detector switch after deployment (the self-driving defense);
+        #: ``None`` leaves triggering to the caller (unit-test mode).
+        self.check_period_s = check_period_s
+        #: Revert to the default mode after this long with no source
+        #: above threshold in a fresh counting window.
+        self.clear_after_s = clear_after_s
+        self.detectors: Dict[str, HeavyHitterProgram] = {}
+        self.filters: Dict[str, HeavyHitterFilterProgram] = {}
+        self.detection_events: List[tuple] = []
+        self._active_since: Optional[float] = None
+        self._last_seen_heavy: Optional[float] = None
+
+    def always_on(self) -> bool:
+        return True  # counting runs in the default mode; filtering is gated
+
+    def modes(self) -> List[ModeSpec]:
+        return [ModeSpec.of(FILTER_MODE, ATTACK_TYPE,
+                            boosters_on=(f"{self.name}.filter",))]
+
+    # ------------------------------------------------------------------
+    def dataflow(self) -> DataflowGraph:
+        graph = DataflowGraph(self.name)
+        graph.add_ppm(parser_ppm(
+            self.name, "parser", base=("src", "dst", "size_bytes")))
+        graph.add_ppm(hashpipe_ppm(
+            self.name, "counter", stages=self.stages,
+            slots_per_stage=self.slots_per_stage,
+            factory=self._make_detector))
+        graph.add_ppm(logic_ppm(
+            self.name, "filter", PpmRole.MITIGATION,
+            ResourceVector(stages=1, sram_mb=0.1, alus=1),
+            factory=self._make_filter))
+        graph.add_edge("parser", "counter", weight=10)
+        graph.add_edge("counter", "filter", weight=4)
+        return graph
+
+    def _make_detector(self, switch: ProgrammableSwitch) -> HeavyHitterProgram:
+        program = HeavyHitterProgram(self.name, f"{self.name}.counter",
+                                     stages=self.stages,
+                                     slots_per_stage=self.slots_per_stage)
+        self.detectors[switch.name] = program
+        return program
+
+    def _make_filter(self,
+                     switch: ProgrammableSwitch) -> HeavyHitterFilterProgram:
+        # The filter sub-booster has its own gating name so the mode can
+        # turn it on while the counter stays always-on.
+        program = HeavyHitterFilterProgram(f"{self.name}.filter",
+                                           f"{self.name}.filter")
+        self.filters[switch.name] = program
+        return program
+
+    # ------------------------------------------------------------------
+    def heavy_sources(self, switch_name: str,
+                      threshold: Optional[int] = None) -> Dict[Hashable, int]:
+        """Local heavy hitters at one detector."""
+        limit = threshold if threshold is not None else self.byte_threshold
+        detector = self.detectors.get(switch_name)
+        if detector is None:
+            return {}
+        return detector.pipe.heavy_hitters(limit)
+
+    def flag_everywhere(self, source: str) -> None:
+        for program in self.filters.values():
+            program.flag(source)
+
+    # ------------------------------------------------------------------
+    # Self-driving runtime (detect -> mode change -> flag -> revert)
+    # ------------------------------------------------------------------
+    def on_deployed(self, deployment) -> None:
+        if self.check_period_s is None:
+            return
+        sim = deployment.topo.sim
+        for switch_name in sorted(self.detectors):
+            if switch_name in deployment.mode_agents:
+                sim.every(self.check_period_s, self._check, deployment,
+                          switch_name, start=self.check_period_s)
+
+    def _check(self, deployment, switch_name: str) -> None:
+        """One detector's periodic pass over its HashPipe."""
+        sim = deployment.topo.sim
+        heavy = self.heavy_sources(switch_name)
+        # Tumbling window: reset the counters every pass so the
+        # threshold always applies to one check period's bytes.
+        self.detectors[switch_name].pipe.clear()
+        agent = deployment.mode_agents[switch_name]
+        if heavy:
+            self._last_seen_heavy = sim.now
+            for source in sorted(heavy):
+                self.flag_everywhere(source)
+            if agent.mode_table.mode_for(ATTACK_TYPE) != FILTER_MODE:
+                if agent.initiate(ATTACK_TYPE, FILTER_MODE):
+                    self._active_since = sim.now
+                    self.detection_events.append(
+                        (sim.now, switch_name, dict(heavy)))
+            return
+        # Nothing heavy here: revert once every window has been quiet
+        # long enough (only the activating switch drives the revert).
+        if (self._active_since is not None
+                and self._last_seen_heavy is not None
+                and agent.mode_table.mode_for(ATTACK_TYPE) == FILTER_MODE
+                and sim.now - self._last_seen_heavy >= self.clear_after_s):
+            if agent.initiate(ATTACK_TYPE, "default"):
+                self._active_since = None
+                for program in self.filters.values():
+                    program.unflag_all()

@@ -1,0 +1,129 @@
+"""Hop-count filtering booster (NetHCF-style, [51]).
+
+Spoofed-source traffic usually arrives with a TTL inconsistent with the
+real host's distance.  The booster learns, per source, the hop count
+implied by observed TTLs (initial TTL inferred as the next canonical
+value above the observed one), then — in filtering mode — drops packets
+whose hop count deviates from the learned value.
+
+Modes: ``learning`` is the always-on default behaviour; the ``hcf_filter``
+mode turns on enforcement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.booster import Booster, GatedProgram
+from ..core.dataflow import DataflowGraph
+from ..core.modes import ModeSpec
+from ..core.ppm import PpmRole
+from ..dataplane.resources import ResourceVector
+from ..netsim.packet import Packet, PacketKind
+from ..netsim.switch import Drop, ProgrammableSwitch, ProgramResult
+from .base import logic_ppm, parser_ppm
+
+ATTACK_TYPE = "spoofing"
+FILTER_MODE = "hcf_filter"
+
+#: Canonical initial TTLs of common stacks.
+INITIAL_TTLS = (32, 64, 128, 255)
+
+
+def infer_hop_count(observed_ttl: int) -> int:
+    """Hops traveled = inferred initial TTL minus the observed TTL."""
+    if observed_ttl < 0:
+        raise ValueError(f"TTL cannot be negative, got {observed_ttl}")
+    for initial in INITIAL_TTLS:
+        if observed_ttl <= initial:
+            return initial - observed_ttl
+    return 255 - observed_ttl
+
+
+class HopCountFilterProgram(GatedProgram):
+    """Per-switch hop-count table: learn always, enforce when gated on.
+
+    The learning half is deliberately *not* mode-gated (``booster_name``
+    gating applies only to enforcement) — NetHCF keeps learning so the
+    table is warm when filtering engages.
+    """
+
+    def __init__(self, booster: "HopCountFilterBooster", name: str,
+                 tolerance: int = 0):
+        super().__init__(f"{booster.name}.filter", name,
+                         ResourceVector(stages=2, sram_mb=0.5, alus=2))
+        self.booster = booster
+        self.tolerance = tolerance
+        self.learned: Dict[str, int] = {}
+        self.packets_dropped = 0
+        self.mismatches = 0
+
+    def process(self, switch: ProgrammableSwitch,
+                packet: Packet) -> ProgramResult:
+        if packet.kind != PacketKind.DATA:
+            return None
+        hops = infer_hop_count(packet.ttl)
+        known = self.learned.get(packet.src)
+        enforcing = self.enabled_on(switch)
+        if known is None:
+            if not enforcing:
+                # Learning phase: trust and record first sight.
+                self.learned[packet.src] = hops
+            else:
+                # Unknown source while filtering: conservative accept,
+                # but learn it so repeats are checked.
+                self.learned[packet.src] = hops
+            return None
+        if abs(hops - known) <= self.tolerance:
+            return None
+        self.mismatches += 1
+        if enforcing:
+            self.packets_dropped += 1
+            return Drop("hop_count_mismatch")
+        # Learning mode tracks mismatches but lets traffic through.
+        return None
+
+    def export_state(self) -> Dict:
+        return {"learned": dict(self.learned)}
+
+    def import_state(self, state: Dict) -> None:
+        self.learned.update(state.get("learned", {}))
+
+
+class HopCountFilterBooster(Booster):
+    """NetHCF as a FastFlex booster."""
+
+    name = "hop_count"
+    attack_types = (ATTACK_TYPE,)
+
+    def __init__(self, tolerance: int = 0):
+        self.tolerance = tolerance
+        self.programs: Dict[str, HopCountFilterProgram] = {}
+
+    def always_on(self) -> bool:
+        return False  # enforcement is gated; learning happens regardless
+
+    def modes(self) -> List[ModeSpec]:
+        return [ModeSpec.of(FILTER_MODE, ATTACK_TYPE,
+                            boosters_on=(f"{self.name}.filter",))]
+
+    def dataflow(self) -> DataflowGraph:
+        graph = DataflowGraph(self.name)
+        graph.add_ppm(parser_ppm(
+            self.name, "parser", base=("src", "dst", "ttl")))
+        graph.add_ppm(logic_ppm(
+            self.name, "hc_table", PpmRole.DETECTION,
+            ResourceVector(stages=2, sram_mb=0.5, alus=2),
+            factory=self._make_program))
+        graph.add_ppm(logic_ppm(
+            self.name, "enforcer", PpmRole.MITIGATION,
+            ResourceVector(stages=1, sram_mb=0.02, alus=1)))
+        graph.add_edge("parser", "hc_table", weight=16)
+        graph.add_edge("hc_table", "enforcer", weight=8)
+        return graph
+
+    def _make_program(self, switch: ProgrammableSwitch) -> HopCountFilterProgram:
+        program = HopCountFilterProgram(self, f"{self.name}.hc_table",
+                                        tolerance=self.tolerance)
+        self.programs[switch.name] = program
+        return program

@@ -1,0 +1,141 @@
+"""Packet-dropping defense booster (§4.1) and the "illusion of success".
+
+Rate-limits or drops traffic of *highly* suspicious flows.  Because
+dropping legitimate traffic is collateral damage, the booster only acts
+above a suspicion-score threshold (the paper: "such a defense should be
+applied only to highly suspicious flows"), and by default it *rate
+limits to a trickle* instead of blackholing — from the attacker's side
+this looks like the attack succeeding (step 5 of the FastFlex defense:
+the "illusion of success"), removing the incentive to roll.
+
+Packet path: a bloom-filter blocklist dropping matching flows' packets.
+Fluid path: policing the flow's rate to ``keep_fraction`` of its demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.booster import Booster, GatedProgram
+from ..core.dataflow import DataflowGraph
+from ..core.ppm import PpmRole
+from ..dataplane.bloom import BloomFilter
+from ..dataplane.resources import ResourceVector
+from ..netsim.fluid import FluidNetwork
+from ..netsim.packet import Packet, PacketKind
+from ..netsim.switch import Drop, ProgrammableSwitch, ProgramResult
+from .base import bloom_ppm, logic_ppm, parser_ppm
+from .lfa_detector import ATTACK_TYPE, MITIGATION_MODE
+
+
+class PacketDropperProgram(GatedProgram):
+    """Per-switch blocklist: drops DATA packets of blocklisted flows."""
+
+    def __init__(self, booster_name: str, name: str,
+                 size_bits: int = 8192, n_hashes: int = 4):
+        blocklist = BloomFilter(f"{name}.blocklist", size_bits=size_bits,
+                                n_hashes=n_hashes)
+        super().__init__(booster_name, name,
+                         blocklist.resource_requirement())
+        self.blocklist = blocklist
+        self.packets_dropped = 0
+
+    def block(self, flow_key) -> None:
+        self.blocklist.add(flow_key)
+
+    def process_enabled(self, switch: ProgrammableSwitch,
+                        packet: Packet) -> ProgramResult:
+        if packet.kind != PacketKind.DATA:
+            return None
+        if packet.flow_key in self.blocklist:
+            self.packets_dropped += 1
+            return Drop("suspicious_flow")
+        return None
+
+    def export_state(self) -> Dict:
+        return self.blocklist.export_state()
+
+    def import_state(self, state: Dict) -> None:
+        self.blocklist.import_state(state)
+
+
+class PacketDropperBooster(Booster):
+    """The mitigation-mode rate limiter / dropper."""
+
+    name = "dropper"
+    attack_types = (ATTACK_TYPE,)
+
+    def __init__(self, fluid: Optional[FluidNetwork] = None,
+                 drop_score_threshold: float = 0.5,
+                 keep_fraction: float = 0.1,
+                 check_period_s: float = 0.05,
+                 bloom_bits: int = 8192):
+        if not 0 <= keep_fraction <= 1:
+            raise ValueError("keep_fraction must be in [0, 1]")
+        self.fluid = fluid
+        self.drop_score_threshold = drop_score_threshold
+        self.keep_fraction = keep_fraction
+        self.check_period_s = check_period_s
+        self.bloom_bits = bloom_bits
+        self.programs: Dict[str, PacketDropperProgram] = {}
+        self.flows_policed = 0
+        self._policed: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    def dataflow(self) -> DataflowGraph:
+        graph = DataflowGraph(self.name)
+        graph.add_ppm(parser_ppm(
+            self.name, "parser",
+            base=("src", "dst", "proto", "sport", "dport")))
+        graph.add_ppm(bloom_ppm(
+            self.name, "blocklist", size_bits=self.bloom_bits,
+            factory=self._make_program))
+        graph.add_ppm(logic_ppm(
+            self.name, "policer", PpmRole.MITIGATION,
+            ResourceVector(stages=1, sram_mb=0.05, alus=2)))
+        graph.add_edge("parser", "blocklist", weight=13)
+        graph.add_edge("blocklist", "policer", weight=1)
+        return graph
+
+    def _make_program(self, switch: ProgrammableSwitch) -> PacketDropperProgram:
+        program = PacketDropperProgram(self.name, f"{self.name}.blocklist",
+                                       size_bits=self.bloom_bits)
+        self.programs[switch.name] = program
+        return program
+
+    # ------------------------------------------------------------------
+    def on_deployed(self, deployment) -> None:
+        if self.fluid is None:
+            return
+        deployment.topo.sim.every(self.check_period_s, self._police,
+                                  deployment, start=self.check_period_s)
+
+    def _active(self, deployment) -> bool:
+        return bool(deployment.bus.switches_in_mode(ATTACK_TYPE,
+                                                    MITIGATION_MODE))
+
+    def _police(self, deployment) -> None:
+        if not self._active(deployment):
+            if self._policed:
+                self._unpolice_all()
+            return
+        now = deployment.topo.sim.now
+        for flow in self.fluid.flows:
+            if not flow.active(now) or flow.flow_id in self._policed:
+                continue
+            if (flow.suspicious
+                    and flow.suspicion_score >= self.drop_score_threshold):
+                flow.police_rate_bps = self.keep_fraction * flow.demand_bps
+                self._policed[flow.flow_id] = flow
+                self.flows_policed += 1
+                for program in self.programs.values():
+                    program.block(flow.key)
+
+    def _unpolice_all(self) -> None:
+        """Mode is over: lift policing (blooms stay until reset — a bloom
+        filter cannot delete; a real deployment swaps in a fresh one)."""
+        for flow in self._policed.values():
+            flow.police_rate_bps = None
+        self._policed.clear()
+        for program in self.programs.values():
+            program.blocklist.clear()

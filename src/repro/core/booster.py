@@ -1,0 +1,115 @@
+"""The booster abstraction: a defense app on the FastFlex platform.
+
+A :class:`Booster` contributes (1) a declarative dataflow graph of PPMs
+for the analyzer/scheduler, (2) the modes it participates in, and (3)
+runtime wiring once deployed.  Its runtime switch programs subclass
+:class:`GatedProgram`, which consults the switch's local mode table on
+every packet — the mechanism by which distributed mode changes turn
+defenses on and off without touching the installed program set.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..netsim.packet import Packet
+from ..netsim.switch import ProgrammableSwitch, ProgramResult, SwitchProgram
+from ..dataplane.resources import ResourceVector
+from .dataflow import DataflowGraph
+from .modes import ModeSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .controller import Deployment
+
+
+class Booster(abc.ABC):
+    """Base class for defense apps."""
+
+    #: Unique booster name; also the gating key in :class:`ModeSpec`.
+    name: str = ""
+    #: Attack types this booster helps against (mode scoping keys).
+    attack_types: tuple = ()
+
+    @abc.abstractmethod
+    def dataflow(self) -> DataflowGraph:
+        """The booster's PPM dataflow graph (Figure 1a input)."""
+
+    def modes(self) -> List[ModeSpec]:
+        """Modes this booster defines or participates in."""
+        return []
+
+    def always_on(self) -> bool:
+        """True for boosters active even in the default mode (Figure 2a
+        keeps LFA detectors on while everything else is off)."""
+        return False
+
+    def on_deployed(self, deployment: "Deployment") -> None:
+        """Post-install hook for cross-switch runtime wiring."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class GatedProgram(SwitchProgram):
+    """A switch program that only acts while its booster's mode is on.
+
+    The gate reads the local :class:`~repro.core.modes.ModeTable` owned
+    by the switch's mode agent.  Without a mode agent installed the
+    program treats itself as enabled (standalone/unit-test use).
+    """
+
+    MODE_AGENT_NAME = "fastflex.mode_agent"
+
+    def __init__(self, booster_name: str, name: str,
+                 requirement: ResourceVector = ResourceVector.zero()):
+        super().__init__(name, requirement)
+        self.booster_name = booster_name
+
+    def enabled_on(self, switch: ProgrammableSwitch) -> bool:
+        if not switch.has_program(self.MODE_AGENT_NAME):
+            return True
+        agent = switch.get_program(self.MODE_AGENT_NAME)
+        return agent.mode_table.booster_enabled(self.booster_name)
+
+    def process(self, switch: ProgrammableSwitch,
+                packet: Packet) -> ProgramResult:
+        if not self.enabled_on(switch):
+            return None
+        return self.process_enabled(switch, packet)
+
+    def process_enabled(self, switch: ProgrammableSwitch,
+                        packet: Packet) -> ProgramResult:
+        """Packet handler invoked only while the booster is active."""
+        raise NotImplementedError
+
+
+class BoosterRegistry:
+    """The set of boosters a deployment runs."""
+
+    def __init__(self) -> None:
+        self._boosters: Dict[str, Booster] = {}
+
+    def register(self, booster: Booster) -> Booster:
+        if not booster.name:
+            raise ValueError(f"{booster!r} has no name")
+        if booster.name in self._boosters:
+            raise ValueError(f"booster {booster.name!r} already registered")
+        self._boosters[booster.name] = booster
+        return booster
+
+    def get(self, name: str) -> Booster:
+        try:
+            return self._boosters[name]
+        except KeyError:
+            raise KeyError(f"no booster named {name!r}; registered: "
+                           f"{sorted(self._boosters)}") from None
+
+    def all(self) -> List[Booster]:
+        return [self._boosters[name] for name in sorted(self._boosters)]
+
+    def __len__(self) -> int:
+        return len(self._boosters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._boosters

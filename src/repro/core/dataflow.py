@@ -1,0 +1,174 @@
+"""Booster dataflow graphs (Figure 1a).
+
+A booster's PPMs form a dataflow graph: vertices are PPMs, directed edges
+follow traffic direction, and each edge carries a weight — the amount of
+state the downstream module reads from the upstream one (which a packet
+would have to carry as a header field if the two modules land on
+different switches).  Clusters of heavily-connected PPMs should therefore
+be co-located; the analyzer and scheduler both consume this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .ppm import PpmSpec
+
+
+@dataclass(frozen=True)
+class DataflowEdge:
+    """A directed edge ``src -> dst`` carrying ``weight`` bits of state."""
+
+    src: str
+    dst: str
+    weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"edge weight must be >= 0, got {self.weight}")
+
+
+class DataflowGraph:
+    """A directed, edge-weighted graph over PPM specs."""
+
+    def __init__(self, name: str = "dataflow"):
+        self.name = name
+        self._ppms: Dict[str, PpmSpec] = {}
+        self._edges: Dict[Tuple[str, str], DataflowEdge] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_ppm(self, spec: PpmSpec) -> PpmSpec:
+        key = spec.qualified_name
+        if key in self._ppms:
+            raise ValueError(f"PPM {key!r} already in graph {self.name!r}")
+        self._ppms[key] = spec
+        return spec
+
+    def add_edge(self, src: str, dst: str, weight: float = 0.0) -> DataflowEdge:
+        src_key, dst_key = self._resolve(src), self._resolve(dst)
+        if src_key == dst_key:
+            raise ValueError(f"self-edge on {src_key!r}")
+        edge = DataflowEdge(src_key, dst_key, weight)
+        self._edges[(src_key, dst_key)] = edge
+        return edge
+
+    def _resolve(self, name: str) -> str:
+        if name in self._ppms:
+            return name
+        matches = [key for key in self._ppms if key.endswith(f".{name}")]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(f"no PPM named {name!r} in graph {self.name!r}")
+        raise KeyError(f"ambiguous PPM name {name!r}: {sorted(matches)}")
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def ppms(self) -> List[PpmSpec]:
+        return list(self._ppms.values())
+
+    def ppm(self, name: str) -> PpmSpec:
+        return self._ppms[self._resolve(name)]
+
+    def edges(self) -> List[DataflowEdge]:
+        return list(self._edges.values())
+
+    def edge(self, src: str, dst: str) -> Optional[DataflowEdge]:
+        try:
+            return self._edges.get((self._resolve(src), self._resolve(dst)))
+        except KeyError:
+            return None
+
+    def successors(self, name: str) -> List[str]:
+        key = self._resolve(name)
+        return sorted(dst for (src, dst) in self._edges if src == key)
+
+    def predecessors(self, name: str) -> List[str]:
+        key = self._resolve(name)
+        return sorted(src for (src, dst) in self._edges if dst == key)
+
+    def __len__(self) -> int:
+        return len(self._ppms)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self._resolve(name)
+            return True
+        except KeyError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def total_requirement(self):
+        from ..dataplane.resources import ResourceVector
+        return ResourceVector.total(p.requirement for p in self._ppms.values())
+
+    def clusters(self, weight_threshold: float) -> List[Set[str]]:
+        """Group PPMs connected by edges of weight >= threshold.
+
+        The paper's guidance: "identify clusters of PPMs, where
+        intra-cluster edges are dense and have heavy weights".  We take
+        the connected components of the subgraph keeping only heavy
+        edges — PPMs in one component must move together or pay the
+        header-carrying cost of the cut edge.
+        """
+        parent = {name: name for name in self._ppms}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for (src, dst), edge in self._edges.items():
+            if edge.weight >= weight_threshold:
+                parent[find(src)] = find(dst)
+
+        groups: Dict[str, Set[str]] = {}
+        for name in self._ppms:
+            groups.setdefault(find(name), set()).add(name)
+        return sorted(groups.values(), key=lambda s: sorted(s))
+
+    def cut_weight(self, partition: Iterable[Set[str]]) -> float:
+        """Total weight of edges crossing the given partition — the
+        header bits packets must carry between switches."""
+        owner: Dict[str, int] = {}
+        for index, group in enumerate(partition):
+            for name in group:
+                if name in owner:
+                    raise ValueError(f"PPM {name!r} in two partition groups")
+                owner[name] = index
+        missing = set(self._ppms) - set(owner)
+        if missing:
+            raise ValueError(f"partition misses PPMs: {sorted(missing)}")
+        return sum(edge.weight for (src, dst), edge in self._edges.items()
+                   if owner[src] != owner[dst])
+
+    def topological_order(self) -> List[str]:
+        """PPM names in dependency order; raises on cycles."""
+        indegree = {name: 0 for name in self._ppms}
+        for (_, dst) in self._edges:
+            indegree[dst] += 1
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in self.successors(name):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+        if len(order) != len(self._ppms):
+            cyclic = sorted(set(self._ppms) - set(order))
+            raise ValueError(f"dataflow cycle among {cyclic}")
+        return order
+
+    def __repr__(self) -> str:
+        return (f"DataflowGraph({self.name!r}, {len(self._ppms)} PPMs, "
+                f"{len(self._edges)} edges)")

@@ -1,0 +1,199 @@
+"""Cross-domain federation (§6 "Federation").
+
+"If multiple domains deploy FastFlex, they would be able to
+collaboratively detect and mitigate more advanced attacks.  At the same
+time, federation would raise new challenges in both technical and
+non-technical aspects, such as trust, authentication, and privacy."
+
+This module implements that sketch:
+
+* **Threat advisories** — when a domain's detector confirms an attack,
+  it publishes an advisory naming the attack type and the offending
+  sources.  For privacy, sources travel as salted hashes: a peer can
+  match them against traffic it actually sees, but the advisory leaks
+  no raw addresses ([63]-style collaborative security).
+* **Trust** — advisories are only accepted from explicitly trusted
+  peers, and only when they carry at least ``min_evidence`` observations
+  (an untrusted or noisy peer cannot force another domain into a
+  defense mode).
+* **Watchlists** — accepted advisories populate a TTL-bounded watchlist;
+  the receiving domain's defenses consult it to classify matching
+  traffic immediately instead of waiting out their own detection
+  thresholds (faster mitigation of an attack that moves between
+  domains).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..dataplane.registers import stable_hash
+from ..netsim.engine import Simulator
+
+#: Salt shared by federated peers (stands in for the keyed hashing a
+#: real deployment would negotiate).
+FEDERATION_SALT = 0x5EED
+
+_advisory_ids = itertools.count(1)
+
+
+def hash_source(source: str) -> int:
+    """Privacy-preserving identifier for an endpoint."""
+    return stable_hash(source, FEDERATION_SALT)
+
+
+@dataclass(frozen=True)
+class ThreatAdvisory:
+    """One domain's attack report to its peers."""
+
+    origin_domain: str
+    attack_type: str
+    #: Salted hashes of the suspected sources (never raw addresses).
+    source_hashes: Tuple[int, ...]
+    #: How many independent observations back this advisory.
+    evidence: int
+    issued_at: float
+    advisory_id: int = field(default_factory=lambda: next(_advisory_ids))
+
+    @classmethod
+    def from_sources(cls, origin: str, attack_type: str,
+                     sources: Iterable[str], evidence: int,
+                     issued_at: float) -> "ThreatAdvisory":
+        hashes = tuple(sorted(hash_source(s) for s in set(sources)))
+        return cls(origin_domain=origin, attack_type=attack_type,
+                   source_hashes=hashes, evidence=evidence,
+                   issued_at=issued_at)
+
+
+@dataclass
+class WatchlistEntry:
+    attack_type: str
+    origin_domain: str
+    expires_at: float
+
+
+class FederationPeer:
+    """One domain's federation endpoint."""
+
+    def __init__(self, domain: str, sim: Simulator,
+                 inter_domain_delay_s: float = 0.05,
+                 min_evidence: int = 2,
+                 watch_ttl_s: float = 60.0):
+        if inter_domain_delay_s < 0:
+            raise ValueError("inter-domain delay must be >= 0")
+        if min_evidence < 1:
+            raise ValueError("min_evidence must be >= 1")
+        self.domain = domain
+        self.sim = sim
+        self.inter_domain_delay_s = inter_domain_delay_s
+        self.min_evidence = min_evidence
+        self.watch_ttl_s = watch_ttl_s
+        self.trusted: Set[str] = set()
+        self._peers: Dict[str, "FederationPeer"] = {}
+        self.watchlist: Dict[int, WatchlistEntry] = {}
+        self.advisories_sent: List[ThreatAdvisory] = []
+        self.advisories_accepted: List[ThreatAdvisory] = []
+        self.advisories_rejected: List[Tuple[ThreatAdvisory, str]] = []
+
+    # ------------------------------------------------------------------
+    # Topology of trust
+    # ------------------------------------------------------------------
+    def connect(self, other: "FederationPeer",
+                mutual_trust: bool = True) -> None:
+        """Exchange reachability (and optionally trust) with a peer."""
+        self._peers[other.domain] = other
+        other._peers[self.domain] = self
+        if mutual_trust:
+            self.trusted.add(other.domain)
+            other.trusted.add(self.domain)
+
+    def trust(self, domain: str) -> None:
+        self.trusted.add(domain)
+
+    def revoke_trust(self, domain: str) -> None:
+        self.trusted.discard(domain)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, attack_type: str, sources: Iterable[str],
+                evidence: int) -> ThreatAdvisory:
+        """Advise every connected peer of an attack we confirmed."""
+        advisory = ThreatAdvisory.from_sources(
+            self.domain, attack_type, sources, evidence, self.sim.now)
+        self.advisories_sent.append(advisory)
+        for peer in self._peers.values():
+            self.sim.schedule(self.inter_domain_delay_s,
+                              peer._receive, advisory)
+        return advisory
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _receive(self, advisory: ThreatAdvisory) -> None:
+        if advisory.origin_domain not in self.trusted:
+            self.advisories_rejected.append((advisory, "untrusted_origin"))
+            return
+        if advisory.evidence < self.min_evidence:
+            self.advisories_rejected.append((advisory,
+                                             "insufficient_evidence"))
+            return
+        self.advisories_accepted.append(advisory)
+        expires = self.sim.now + self.watch_ttl_s
+        for source_hash in advisory.source_hashes:
+            entry = self.watchlist.get(source_hash)
+            if entry is None or entry.expires_at < expires:
+                self.watchlist[source_hash] = WatchlistEntry(
+                    attack_type=advisory.attack_type,
+                    origin_domain=advisory.origin_domain,
+                    expires_at=expires)
+
+    # ------------------------------------------------------------------
+    # Consultation (called by the local domain's defenses)
+    # ------------------------------------------------------------------
+    def is_watched(self, source: str) -> Optional[WatchlistEntry]:
+        """Does local traffic from ``source`` match an advisory?"""
+        entry = self.watchlist.get(hash_source(source))
+        if entry is None:
+            return None
+        if entry.expires_at < self.sim.now:
+            del self.watchlist[hash_source(source)]
+            return None
+        return entry
+
+    def expire_stale(self) -> int:
+        """Drop expired watchlist entries; returns the count removed."""
+        now = self.sim.now
+        stale = [h for h, e in self.watchlist.items()
+                 if e.expires_at < now]
+        for source_hash in stale:
+            del self.watchlist[source_hash]
+        return len(stale)
+
+    def __repr__(self) -> str:
+        return (f"FederationPeer({self.domain!r}, "
+                f"trusted={sorted(self.trusted)}, "
+                f"watching={len(self.watchlist)})")
+
+
+def apply_watchlist(peer: FederationPeer, fluid,
+                    score: float = 0.8) -> int:
+    """Mark active local flows from watched sources as suspicious.
+
+    The receiving domain's bridge between federation intelligence and
+    its own defenses: matching flows skip the local detection thresholds
+    (the paper's "collaboratively detect and mitigate").  Returns the
+    number of flows newly marked.
+    """
+    marked = 0
+    now = peer.sim.now
+    for flow in fluid.flows:
+        if not flow.active(now) or flow.suspicious:
+            continue
+        if peer.is_watched(flow.src) is not None:
+            flow.suspicious = True
+            flow.suspicion_score = max(flow.suspicion_score, score)
+            marked += 1
+    return marked

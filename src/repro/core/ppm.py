@@ -1,0 +1,98 @@
+"""Packet-processing modules (PPMs): the unit of decomposition.
+
+Section 3.1: a booster is decomposed into smaller *packet processing
+modules* so they pack more tightly onto switches and so functionally
+equivalent modules can be shared across boosters.  A :class:`PpmSpec` is
+the declarative IR the analyzer and scheduler work over; the runtime
+behaviour is produced by its ``factory`` when the scheduler instantiates
+the module on a concrete switch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..dataplane.resources import ResourceVector
+
+
+class PpmRole(enum.Enum):
+    """Placement role (Section 3.2's best-effort planning distinguishes
+    detection from mitigation modules)."""
+
+    DETECTION = "detection"
+    MITIGATION = "mitigation"
+    #: Infrastructure modules (parsers, shared state) placed wherever a
+    #: dependent module lands.
+    SUPPORT = "support"
+
+
+class PpmKind(enum.Enum):
+    """Semantic class of the module — the primary equivalence key."""
+
+    PARSER = "parser"
+    SKETCH = "sketch"
+    BLOOM = "bloom"
+    HASHPIPE = "hashpipe"
+    FLOW_TABLE = "flow_table"
+    REGISTER = "register"
+    LOGIC = "logic"          # custom match-action logic, equivalence by id
+
+
+def _canonical_params(params: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Sorted (key, value) pairs, dropping implementation-detail keys.
+
+    Keys starting with ``_`` describe *how* a booster author happened to
+    write the module (variable names, code structure) and are excluded —
+    this is what lets FastFlex recognize two differently-written modules
+    as the same function (the paper leans on data-plane equivalence
+    checking [24] for this)."""
+    return tuple(sorted((k, v) for k, v in params.items()
+                        if not k.startswith("_")))
+
+
+@dataclass(frozen=True)
+class PpmSignature:
+    """Canonical semantic signature; equal signatures => shareable PPMs."""
+
+    kind: PpmKind
+    params: Tuple[Tuple[str, Any], ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind.value}({inner})"
+
+
+@dataclass
+class PpmSpec:
+    """Declarative description of one packet-processing module."""
+
+    name: str
+    kind: PpmKind
+    role: PpmRole
+    requirement: ResourceVector
+    #: Semantic parameters; ``_``-prefixed keys are implementation detail
+    #: and ignored by the equivalence signature.
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Builds the runtime object for a switch.  Signature:
+    #: ``factory(switch, instance_name) -> SwitchProgram``.  Optional for
+    #: planning-only specs (analyzer/scheduler benchmarks).
+    factory: Optional[Callable[..., Any]] = None
+    #: Name of the booster that contributed this PPM (set by the booster).
+    booster: str = ""
+
+    def signature(self) -> PpmSignature:
+        if self.kind == PpmKind.LOGIC and "logic_id" not in self.params:
+            # Custom logic without a declared identity is never shareable;
+            # use the fully qualified name as its identity.
+            return PpmSignature(self.kind, (("logic_id", self.qualified_name),))
+        return PpmSignature(self.kind, _canonical_params(self.params))
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.booster}.{self.name}" if self.booster else self.name
+
+    def __repr__(self) -> str:
+        return (f"PpmSpec({self.qualified_name!r}, {self.kind.value}, "
+                f"{self.role.value}, {self.requirement})")

@@ -1,0 +1,166 @@
+"""Dynamic scaling at runtime: repurposing switches (§3.4, Figure 1d).
+
+When attack strength exceeds the best-effort plan, FastFlex repurposes
+switches to run different programs.  The sequence modeled here follows
+the paper exactly:
+
+1. The switch **notifies its neighbors** before reconfiguring so they
+   fast-reroute around it (Tofino-style reinstallation takes seconds of
+   downtime — footnote 1; Trident-style partial reconfiguration is
+   hitless).
+2. Its defense **state is snapshotted and transferred** to the switch
+   taking over, as FEC-protected state-carrying packets.
+3. After the reconfiguration window, the new program set is installed,
+   transferred state is imported, and neighbors are told to route back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..netsim.switch import ProgrammableSwitch, SwitchProgram
+from ..netsim.topology import Topology
+from .state_transfer import StateTransferService, TransferResult
+
+#: Program factory used by scale-out: builds a fresh runtime instance.
+ProgramFactory = Callable[[], SwitchProgram]
+
+
+@dataclass
+class RepurposeRecord:
+    """What one repurposing operation did (for tests and benches)."""
+
+    switch: str
+    started_at: float
+    downtime_s: float
+    hitless: bool
+    removed: List[str] = field(default_factory=list)
+    installed: List[str] = field(default_factory=list)
+    state_transfer_id: Optional[int] = None
+    state_transfer_ok: Optional[bool] = None
+    completed_at: Optional[float] = None
+
+
+class ScalingManager:
+    """Orchestrates runtime repurposing and booster scale-out."""
+
+    def __init__(self, topo: Topology, state_service: StateTransferService,
+                 reconfig_seconds: float = 2.0,
+                 notify_grace_s: float = 0.01):
+        if reconfig_seconds < 0 or notify_grace_s < 0:
+            raise ValueError("durations must be non-negative")
+        self.topo = topo
+        self.sim = topo.sim
+        self.state_service = state_service
+        #: Tofino-style program reinstallation latency ("several seconds",
+        #: footnote 1); the repurposing ablation sweeps this.
+        self.reconfig_seconds = reconfig_seconds
+        #: Delay between the neighbor notification and going down, giving
+        #: the notices time to arrive so fast reroute is armed.
+        self.notify_grace_s = notify_grace_s
+        self.records: List[RepurposeRecord] = []
+
+    # ------------------------------------------------------------------
+    def repurpose(self, switch_name: str,
+                  remove: Optional[List[str]] = None,
+                  install: Optional[List[ProgramFactory]] = None,
+                  transfer_state_to: Optional[str] = None,
+                  hitless: bool = False,
+                  on_complete: Optional[Callable[[RepurposeRecord], None]] = None
+                  ) -> RepurposeRecord:
+        """Swap the program set on a switch.
+
+        ``remove`` names programs to uninstall (their state is shipped to
+        ``transfer_state_to`` if given); ``install`` supplies factories
+        for the replacement programs, installed once the reconfiguration
+        window closes.
+        """
+        switch = self.topo.switch(switch_name)
+        if switch.reconfiguring:
+            raise RuntimeError(f"{switch_name} is already reconfiguring")
+        record = RepurposeRecord(
+            switch=switch_name, started_at=self.sim.now,
+            downtime_s=0.0 if hitless else self.reconfig_seconds,
+            hitless=hitless,
+            removed=list(remove or []))
+        self.records.append(record)
+
+        switch.notify_neighbors_of_reconfig()
+        self.sim.schedule(self.notify_grace_s, self._begin, switch, record,
+                          remove or [], install or [], transfer_state_to,
+                          hitless, on_complete)
+        return record
+
+    def _begin(self, switch: ProgrammableSwitch, record: RepurposeRecord,
+               remove: List[str], install: List[ProgramFactory],
+               transfer_state_to: Optional[str], hitless: bool,
+               on_complete: Optional[Callable[[RepurposeRecord], None]]
+               ) -> None:
+        # Snapshot and ship outbound state before the programs vanish.
+        if transfer_state_to is not None and remove:
+            snapshot = {}
+            for name in remove:
+                if switch.has_program(name):
+                    snapshot[name] = switch.get_program(name).export_state()
+            if snapshot:
+                def note(result: TransferResult) -> None:
+                    record.state_transfer_ok = result.success
+
+                record.state_transfer_id = self.state_service.send(
+                    switch.name, transfer_state_to, snapshot,
+                    on_complete=note)
+        for name in remove:
+            if switch.has_program(name):
+                switch.remove_program(name)
+
+        def finish() -> None:
+            for factory in install:
+                program = factory()
+                switch.install_program(program)
+                record.installed.append(program.name)
+            record.completed_at = self.sim.now
+            if on_complete is not None:
+                on_complete(record)
+
+        switch.begin_reconfiguration(
+            0.0 if hitless else self.reconfig_seconds,
+            hitless=hitless, on_complete=finish)
+
+    # ------------------------------------------------------------------
+    def scale_out(self, program_name: str, from_switch: str,
+                  to_switch: str, factory: ProgramFactory,
+                  copy_state: bool = True,
+                  on_ready: Optional[Callable[[bool], None]] = None) -> None:
+        """Replicate a booster instance onto another switch (Fig. 1d's
+        "Replicated E"): install a fresh instance there and, optionally,
+        seed it with the source instance's state."""
+        source = self.topo.switch(from_switch)
+        target = self.topo.switch(to_switch)
+        program = factory()
+        target.install_program(program)
+
+        if not copy_state:
+            if on_ready is not None:
+                on_ready(True)
+            return
+        if not source.has_program(program_name):
+            raise KeyError(
+                f"{from_switch} has no program {program_name!r} to copy")
+        state = source.get_program(program_name).export_state()
+
+        def seed(result: TransferResult) -> None:
+            ok = result.success
+            if ok:
+                program.import_state(result.payload["state"])
+            if on_ready is not None:
+                on_ready(ok)
+
+        self.state_service.send(from_switch, to_switch,
+                                {"program": program_name, "state": state},
+                                on_complete=seed)
+
+    def instances_of(self, program_name: str) -> List[str]:
+        """Switches currently running the named program."""
+        return [name for name in self.topo.switch_names
+                if self.topo.switch(name).has_program(program_name)]

@@ -1,0 +1,300 @@
+"""State transfer and replication across switches (§3.4).
+
+When a switch is repurposed, its defense state (sketches, flow tables,
+epoch registers) must move to whichever switch takes over — at data-plane
+speeds, without a software controller on the path (the paper cites Swing
+State's piggybacking [53]).  We model the transfer as STATE_TRANSFER
+packets that traverse the same links as data traffic, and therefore share
+their congestion loss — which is precisely why the paper calls for FEC
+protection of state-carrying packets.
+
+Pipeline: ``state dict -> pickle -> 32-bit words -> XOR-parity FEC
+symbols -> packets (a few symbols each) -> receiver agent -> decode ->
+import``.  The service reports whether the state survived and how many
+words the FEC recovered, which the state-transfer ablation sweeps
+against link loss.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..dataplane.fec import FecDecoder, FecEncoder, FecSymbol
+from ..dataplane.resources import ResourceVector
+from ..netsim.packet import Packet, PacketKind, Protocol
+from ..netsim.switch import Consume, ProgrammableSwitch, ProgramResult, SwitchProgram
+from ..netsim.topology import Topology
+
+AGENT_REQUIREMENT = ResourceVector(stages=1, sram_mb=0.2, tcam_kb=0, alus=2)
+
+_transfer_ids = itertools.count(1)
+
+
+def state_to_words(state: Any) -> List[int]:
+    """Serialize arbitrary state into 32-bit words."""
+    blob = pickle.dumps(state)
+    padded = blob + b"\x00" * (-len(blob) % 4)
+    return [int.from_bytes(padded[i:i + 4], "big")
+            for i in range(0, len(padded), 4)]
+
+
+def words_to_state(words: List[int], blob_length: int) -> Any:
+    """Inverse of :func:`state_to_words`."""
+    raw = b"".join(word.to_bytes(4, "big") for word in words)
+    return pickle.loads(raw[:blob_length])
+
+
+@dataclass
+class TransferResult:
+    """Outcome reported to the transfer's completion callback."""
+
+    transfer_id: int
+    success: bool
+    payload: Any = None
+    words_total: int = 0
+    words_lost: int = 0
+    recovered_by_fec: int = 0
+    packets_sent: int = 0
+    packets_received: int = 0
+    completed_at: float = 0.0
+
+
+@dataclass
+class _PendingTransfer:
+    meta: Dict[str, Any]
+    symbols: List[FecSymbol] = field(default_factory=list)
+    packets_received: int = 0
+    done: bool = False
+    callback: Optional[Callable[[TransferResult], None]] = None
+
+
+class StateTransferAgent(SwitchProgram):
+    """Receiver endpoint: collects symbols, decodes, delivers."""
+
+    def __init__(self, service: "StateTransferService",
+                 name: str = "fastflex.state_agent"):
+        super().__init__(name, AGENT_REQUIREMENT)
+        self.service = service
+        self._pending: Dict[int, _PendingTransfer] = {}
+
+    def process(self, switch: ProgrammableSwitch,
+                packet: Packet) -> ProgramResult:
+        if packet.kind != PacketKind.STATE_TRANSFER:
+            return None
+        if packet.dst != switch.name:
+            return None  # transit; forward along switch routes
+        transfer_id = packet.headers["transfer_id"]
+        pending = self._pending.get(transfer_id)
+        if pending is None:
+            pending = _PendingTransfer(meta=dict(packet.headers))
+            pending.callback = self.service.callback_for(transfer_id)
+            self._pending[transfer_id] = pending
+            deadline = packet.headers["deadline_s"]
+            switch.sim.schedule(deadline, self._finish, transfer_id)
+        if pending.done:
+            return Consume()
+        pending.packets_received += 1
+        for group, index, value in packet.headers["symbols"]:
+            pending.symbols.append(FecSymbol(group, index, value))
+        if pending.packets_received >= packet.headers["total_packets"]:
+            self._finish(transfer_id)
+        return Consume()
+
+    # ------------------------------------------------------------------
+    def _finish(self, transfer_id: int) -> None:
+        pending = self._pending.get(transfer_id)
+        if pending is None or pending.done:
+            return
+        pending.done = True
+        meta = pending.meta
+        decoder = FecDecoder(group_size=meta["group_size"])
+        n_words = meta["n_words"]
+        words, recovered = decoder.decode(pending.symbols, n_words)
+        lost = sum(1 for w in words if w is None)
+        result = TransferResult(
+            transfer_id=transfer_id,
+            success=lost == 0,
+            words_total=n_words,
+            words_lost=lost,
+            recovered_by_fec=recovered,
+            packets_sent=meta["total_packets"],
+            packets_received=pending.packets_received,
+            completed_at=self.switch.sim.now if self.switch else 0.0,
+        )
+        if result.success:
+            result.payload = words_to_state(
+                [w for w in words if w is not None], meta["blob_length"])
+        if pending.callback is not None:
+            pending.callback(result)
+        self.service.record_result(result)
+
+
+class StateTransferService:
+    """Network-wide transfer machinery: install agents, send snapshots.
+
+    Parameters
+    ----------
+    group_size:
+        FEC group size: every ``group_size`` data words get one parity
+        word (overhead ``1/group_size``); any single loss per group is
+        recoverable.  ``None`` disables FEC (the ablation baseline).
+    symbols_per_packet:
+        How many 32-bit symbols ride in one state-carrying packet.
+    deadline_s:
+        Receiver-side decode deadline after the first packet arrives.
+    """
+
+    def __init__(self, topo: Topology, group_size: Optional[int] = 4,
+                 symbols_per_packet: int = 16, deadline_s: float = 0.5):
+        if symbols_per_packet < 1:
+            raise ValueError("symbols_per_packet must be >= 1")
+        self.topo = topo
+        self.group_size = group_size
+        self.symbols_per_packet = symbols_per_packet
+        self.deadline_s = deadline_s
+        self.results: List[TransferResult] = []
+        self._callbacks: Dict[int, Callable[[TransferResult], None]] = {}
+        self.agents: Dict[str, StateTransferAgent] = {}
+
+    # ------------------------------------------------------------------
+    def install_agents(self) -> None:
+        """Put a receiver agent on every programmable switch lacking one
+        (legacy switches forward state-carrying packets but cannot
+        terminate transfers)."""
+        for name in self.topo.switch_names:
+            switch = self.topo.switch(name)
+            if not switch.programmable:
+                continue
+            if not switch.has_program("fastflex.state_agent"):
+                agent = StateTransferAgent(self)
+                switch.install_program(agent)
+                self.agents[name] = agent
+
+    def callback_for(self, transfer_id: int
+                     ) -> Optional[Callable[[TransferResult], None]]:
+        return self._callbacks.get(transfer_id)
+
+    def record_result(self, result: TransferResult) -> None:
+        self.results.append(result)
+
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any,
+             on_complete: Optional[Callable[[TransferResult], None]] = None
+             ) -> int:
+        """Ship ``payload`` from switch ``src`` to switch ``dst``.
+
+        Returns the transfer id; ``on_complete`` fires at the receiver
+        with the :class:`TransferResult`.
+        """
+        source = self.topo.switch(src)
+        self.topo.switch(dst)  # validate destination exists
+        transfer_id = next(_transfer_ids)
+        if on_complete is not None:
+            self._callbacks[transfer_id] = on_complete
+
+        blob = pickle.dumps(payload)
+        words = state_to_words(payload)
+        if self.group_size is not None:
+            symbols = FecEncoder(self.group_size).encode(words)
+            group_size = self.group_size
+        else:
+            # No FEC: data symbols only; group size 1 lets the decoder
+            # place them, but no parity symbols exist to recover with.
+            symbols = [FecSymbol(i, 0, w) for i, w in enumerate(words)]
+            group_size = 1
+
+        batches = [symbols[i:i + self.symbols_per_packet]
+                   for i in range(0, len(symbols), self.symbols_per_packet)]
+        total = max(len(batches), 1)
+        for seq, batch in enumerate(batches or [[]]):
+            packet = Packet(
+                src=src, dst=dst, size_bytes=64 + 4 * len(batch),
+                kind=PacketKind.STATE_TRANSFER, proto=Protocol.UDP,
+                headers={
+                    "transfer_id": transfer_id,
+                    "seq": seq,
+                    "total_packets": total,
+                    "n_words": len(words),
+                    "blob_length": len(blob),
+                    "group_size": group_size,
+                    "deadline_s": self.deadline_s,
+                    "symbols": [(s.group, s.index, s.value) for s in batch],
+                },
+            )
+            packet.created_at = source.sim.now
+            next_hop = source._resolve_next_hop(packet)
+            if next_hop is not None:
+                source.send_via(next_hop, packet)
+        return transfer_id
+
+
+class CriticalStateReplicator:
+    """Periodic replication of critical program state (§3.4 fault
+    tolerance): snapshots chosen programs on a primary switch and ships
+    them to a replica, which stores them for post-failure restoration."""
+
+    def __init__(self, service: StateTransferService, primary: str,
+                 replica: str, program_names: List[str],
+                 period_s: float = 1.0):
+        if period_s <= 0:
+            raise ValueError("replication period must be positive")
+        self.service = service
+        self.topo = service.topo
+        self.primary = primary
+        self.replica = replica
+        self.program_names = list(program_names)
+        self.period_s = period_s
+        self.snapshots_sent = 0
+        self._process = None
+
+    def start(self) -> "CriticalStateReplicator":
+        sim = self.topo.sim
+        self._process = sim.every(self.period_s, self.replicate_once,
+                                  start=self.period_s)
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def replicate_once(self) -> None:
+        primary = self.topo.switch(self.primary)
+        if primary.reconfiguring:
+            return
+        snapshot = {}
+        for name in self.program_names:
+            if primary.has_program(name):
+                snapshot[name] = primary.get_program(name).export_state()
+        if not snapshot:
+            return
+        self.snapshots_sent += 1
+
+        def store(result: TransferResult) -> None:
+            if result.success:
+                replica_switch = self.topo.switch(self.replica)
+                stored = replica_switch.scratch.setdefault("replica_store", {})
+                stored[self.primary] = {
+                    "time": result.completed_at,
+                    "snapshot": result.payload,
+                }
+
+        self.service.send(self.primary, self.replica, snapshot,
+                          on_complete=store)
+
+    def restore_to(self, target: str) -> bool:
+        """Install the replica's latest snapshot onto ``target``'s
+        programs (after the primary failed or was repurposed)."""
+        replica_switch = self.topo.switch(self.replica)
+        stored = replica_switch.scratch.get("replica_store", {})
+        record = stored.get(self.primary)
+        if record is None:
+            return False
+        target_switch = self.topo.switch(target)
+        for name, state in record["snapshot"].items():
+            if target_switch.has_program(name):
+                target_switch.get_program(name).import_state(state)
+        return True

@@ -1,0 +1,151 @@
+"""Centralized traffic engineering: the default-mode optimizer.
+
+FastFlex's default mode "operates under optimal configurations computed
+by centralized control, e.g., using traffic engineering over a stable
+traffic matrix" (Section 1).  Both the FastFlex controller (for the
+default mode) and the baseline SDN defense (for its periodic
+reconfiguration) use this module.
+
+The optimizer is a deterministic greedy min-max heuristic: commodities
+are routed in decreasing demand order, each onto whichever of its k
+shortest paths minimizes the resulting maximum link utilization —
+the objective Section 3.2 names ("minimize the maximal link load").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..netsim.flows import Flow
+from ..netsim.routing import Path, k_shortest_paths
+from ..netsim.topology import Topology
+
+LinkKey = Tuple[str, str]
+
+
+@dataclass
+class TeResult:
+    """Outcome of one TE computation."""
+
+    paths: Dict[int, Path] = field(default_factory=dict)  # flow_id -> path
+    max_utilization: float = 0.0
+    link_load: Dict[LinkKey, float] = field(default_factory=dict)
+
+    def path_for(self, flow: Flow) -> Optional[Path]:
+        return self.paths.get(flow.flow_id)
+
+
+def link_loads(topo: Topology, flows: Iterable[Flow]) -> Dict[LinkKey, float]:
+    """Offered load per directed link if every flow sent its demand."""
+    load: Dict[LinkKey, float] = {key: 0.0 for key in topo.links}
+    for flow in flows:
+        if flow.path is None:
+            continue
+        for key in flow.path.links():
+            load[key] += flow.demand_bps
+    return load
+
+
+def max_link_utilization(topo: Topology,
+                         flows: Iterable[Flow]) -> float:
+    """The min-max TE objective value for the flows' current paths."""
+    worst = 0.0
+    for key, load in link_loads(topo, flows).items():
+        worst = max(worst, load / topo.links[key].capacity_bps)
+    return worst
+
+
+def greedy_min_max_te(topo: Topology, flows: List[Flow], k: int = 4,
+                      assign: bool = True) -> TeResult:
+    """Route each flow to minimize the running max link utilization.
+
+    Parameters
+    ----------
+    k:
+        Number of candidate shortest paths per commodity.
+    assign:
+        When True (default) each flow's ``path`` is updated in place —
+        this is the controller "deploying" the configuration.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    result = TeResult()
+    load: Dict[LinkKey, float] = {key: 0.0 for key in topo.links}
+    capacities = {key: link.capacity_bps for key, link in topo.links.items()}
+
+    # Deterministic order: big flows first, ties by flow id.
+    ordered = sorted(flows, key=lambda f: (-f.demand_bps, f.flow_id))
+    candidate_cache: Dict[Tuple[str, str], List[Path]] = {}
+
+    for flow in ordered:
+        endpoints = (flow.src, flow.dst)
+        if endpoints not in candidate_cache:
+            candidate_cache[endpoints] = k_shortest_paths(
+                topo, flow.src, flow.dst, k)
+        best_path: Optional[Path] = None
+        best_cost: Tuple[float, float] = (float("inf"), float("inf"))
+        for path in candidate_cache[endpoints]:
+            worst = 0.0
+            for key in path.links():
+                worst = max(worst,
+                            (load[key] + flow.demand_bps) / capacities[key])
+            cost = (worst, path.latency(topo))
+            if cost < best_cost:
+                best_cost = cost
+                best_path = path
+        assert best_path is not None  # k >= 1 guarantees a candidate
+        result.paths[flow.flow_id] = best_path
+        for key in best_path.links():
+            load[key] += flow.demand_bps
+        if assign:
+            flow.set_path(best_path)
+
+    result.link_load = load
+    result.max_utilization = max(
+        (load[key] / capacities[key] for key in load), default=0.0)
+    return result
+
+
+def rebalance_excluding_links(topo: Topology, flows: List[Flow],
+                              excluded: List[LinkKey], k: int = 6,
+                              assign: bool = True) -> TeResult:
+    """TE variant that avoids the given (congested/attacked) links.
+
+    Used by the baseline SDN defense: when its monitoring flags flooded
+    links, it recomputes TE with those links' candidate paths filtered
+    out (falling back to unrestricted candidates if a commodity has no
+    alternative).
+    """
+    banned = set(excluded) | {(b, a) for (a, b) in excluded}
+    result = TeResult()
+    load: Dict[LinkKey, float] = {key: 0.0 for key in topo.links}
+    capacities = {key: link.capacity_bps for key, link in topo.links.items()}
+    ordered = sorted(flows, key=lambda f: (-f.demand_bps, f.flow_id))
+
+    for flow in ordered:
+        candidates = k_shortest_paths(topo, flow.src, flow.dst, k)
+        allowed = [p for p in candidates
+                   if not any(key in banned for key in p.links())]
+        if not allowed:
+            allowed = candidates
+        best_path, best_cost = None, (float("inf"), float("inf"))
+        for path in allowed:
+            worst = 0.0
+            for key in path.links():
+                worst = max(worst,
+                            (load[key] + flow.demand_bps) / capacities[key])
+            cost = (worst, path.latency(topo))
+            if cost < best_cost:
+                best_cost, best_path = cost, path
+        assert best_path is not None
+        result.paths[flow.flow_id] = best_path
+        for key in best_path.links():
+            load[key] += flow.demand_bps
+        if assign:
+            flow.set_path(best_path)
+
+    result.link_load = load
+    result.max_utilization = max(
+        (load[key] / capacities[key] for key in load), default=0.0)
+    return result

@@ -1,0 +1,122 @@
+"""Forward error correction for state-carrying packets.
+
+Section 3.4: "to tolerate packet drops, we should be able to temporarily
+increase the reliability of state-carrying packets, e.g., using FEC
+(forward error correction) codes and redundancy.  FEC encoding and
+decoding are bitwise operations over special header fields, therefore
+implementable in data plane."
+
+We implement XOR-parity FEC over groups of data words: every group of
+``group_size`` payload words gets one parity word that is the bitwise XOR
+of the group.  Any single loss within a group is recoverable — the
+standard 1-erasure code used by in-network telemetry systems, and exactly
+the "bitwise operations over special header fields" the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FecSymbol:
+    """One encoded symbol: either a data word or a group parity word."""
+
+    group: int
+    index: int          # position within the group; -1 for parity
+    value: int
+
+    @property
+    def is_parity(self) -> bool:
+        return self.index == -1
+
+
+class FecEncoder:
+    """Encodes a sequence of non-negative integer words into FEC symbols."""
+
+    def __init__(self, group_size: int = 4):
+        if group_size <= 0:
+            raise ValueError(f"group_size must be positive, got {group_size}")
+        self.group_size = group_size
+
+    def encode(self, words: Sequence[int]) -> List[FecSymbol]:
+        """Emit data symbols plus one parity symbol per (partial) group."""
+        for word in words:
+            if word < 0:
+                raise ValueError("FEC words must be non-negative integers")
+        symbols: List[FecSymbol] = []
+        for group_index in range(0, len(words), self.group_size):
+            group = words[group_index:group_index + self.group_size]
+            gid = group_index // self.group_size
+            for offset, word in enumerate(group):
+                symbols.append(FecSymbol(gid, offset, word))
+            parity = reduce(lambda a, b: a ^ b, group, 0)
+            symbols.append(FecSymbol(gid, -1, parity))
+        return symbols
+
+    def overhead_ratio(self, n_words: int) -> float:
+        """Extra symbols sent per payload word."""
+        if n_words == 0:
+            return 0.0
+        groups = (n_words + self.group_size - 1) // self.group_size
+        return groups / n_words
+
+
+class FecDecoder:
+    """Reassembles the original words from (possibly lossy) symbols."""
+
+    def __init__(self, group_size: int = 4):
+        if group_size <= 0:
+            raise ValueError(f"group_size must be positive, got {group_size}")
+        self.group_size = group_size
+
+    def decode(self, symbols: Sequence[FecSymbol],
+               n_words: int) -> Tuple[List[Optional[int]], int]:
+        """Recover up to ``n_words`` original words.
+
+        Returns ``(words, recovered)`` where ``words[i]`` is ``None`` for
+        unrecoverable positions and ``recovered`` counts words restored
+        *via parity* (i.e. that would have been lost without FEC).
+        """
+        by_group: Dict[int, Dict[int, int]] = {}
+        parities: Dict[int, int] = {}
+        for symbol in symbols:
+            if symbol.is_parity:
+                parities[symbol.group] = symbol.value
+            else:
+                by_group.setdefault(symbol.group, {})[symbol.index] = symbol.value
+
+        words: List[Optional[int]] = [None] * n_words
+        recovered = 0
+        n_groups = (n_words + self.group_size - 1) // self.group_size
+        for gid in range(n_groups):
+            base = gid * self.group_size
+            expected = min(self.group_size, n_words - base)
+            have = by_group.get(gid, {})
+            for offset, value in have.items():
+                if 0 <= offset < expected:
+                    words[base + offset] = value
+            missing = [o for o in range(expected) if o not in have]
+            if len(missing) == 1 and gid in parities:
+                parity = parities[gid]
+                value = reduce(lambda a, b: a ^ b, have.values(), parity)
+                words[base + missing[0]] = value
+                recovered += 1
+        return words, recovered
+
+
+def loss_survival_probability(loss_rate: float, group_size: int) -> float:
+    """Probability one group decodes fully under i.i.d. symbol loss.
+
+    A group of ``g`` data symbols plus one parity survives iff zero
+    symbols are lost, or exactly one of the ``g+1`` is lost.  Useful for
+    sizing the redundancy in the state-transfer ablation.
+    """
+    if not 0 <= loss_rate <= 1:
+        raise ValueError("loss_rate must be in [0, 1]")
+    n = group_size + 1
+    p_none = (1 - loss_rate) ** n
+    p_one = n * loss_rate * (1 - loss_rate) ** (n - 1)
+    return p_none + p_one

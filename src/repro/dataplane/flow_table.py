@@ -1,0 +1,172 @@
+"""Per-flow state tables with TCP connection tracking.
+
+Section 4.1's LFA detector needs "persistent, low-rate flows to a
+destination prefix", detected by "adapting algorithms that monitor
+per-flow TCP state in the data plane" (Dapper / Blink style).  The
+:class:`FlowTable` here maintains bounded per-flow entries — first/last
+seen, packet and byte counts, an EWMA rate, and a small TCP state
+machine — with LRU eviction to respect SRAM limits.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+from .resources import ResourceVector
+
+
+class TcpState(enum.Enum):
+    """Simplified per-flow TCP state machine."""
+
+    NEW = "new"
+    SYN_SEEN = "syn_seen"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+@dataclass
+class FlowEntry:
+    """State tracked per flow."""
+
+    key: Hashable
+    first_seen: float
+    last_seen: float
+    packets: int = 0
+    bytes: int = 0
+    tcp_state: TcpState = TcpState.NEW
+    #: EWMA of the instantaneous rate (bits/second).
+    rate_bps: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def age(self) -> float:
+        return self.last_seen - self.first_seen
+
+    def is_persistent(self, min_age_s: float) -> bool:
+        return self.age >= min_age_s
+
+    def is_low_rate(self, max_rate_bps: float) -> bool:
+        return self.rate_bps <= max_rate_bps
+
+
+class FlowTable:
+    """A bounded LRU table of :class:`FlowEntry` records."""
+
+    def __init__(self, name: str, capacity: int = 4096,
+                 rate_ewma_alpha: float = 0.3):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 < rate_ewma_alpha <= 1:
+            raise ValueError("rate_ewma_alpha must be in (0, 1]")
+        self.name = name
+        self.capacity = capacity
+        self.rate_ewma_alpha = rate_ewma_alpha
+        self._entries: "OrderedDict[Hashable, FlowEntry]" = OrderedDict()
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, key: Hashable, now: float, size_bytes: int = 0,
+                syn: bool = False, ack: bool = False,
+                fin: bool = False, rst: bool = False) -> FlowEntry:
+        """Record one packet of ``key``; creates/evicts as needed."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = FlowEntry(key=key, first_seen=now, last_seen=now)
+            self._entries[key] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        else:
+            dt = now - entry.last_seen
+            if dt > 0:
+                instant = size_bytes * 8 / dt
+                entry.rate_bps += (instant - entry.rate_bps) * self.rate_ewma_alpha
+            entry.last_seen = now
+        self._entries.move_to_end(key)
+
+        entry.packets += 1
+        entry.bytes += size_bytes
+        self._advance_tcp(entry, syn=syn, ack=ack, fin=fin, rst=rst)
+        return entry
+
+    @staticmethod
+    def _advance_tcp(entry: FlowEntry, *, syn: bool, ack: bool,
+                     fin: bool, rst: bool) -> None:
+        if rst or fin:
+            entry.tcp_state = TcpState.CLOSED
+            return
+        if entry.tcp_state == TcpState.NEW and syn:
+            entry.tcp_state = TcpState.SYN_SEEN
+        elif entry.tcp_state == TcpState.SYN_SEEN and ack:
+            entry.tcp_state = TcpState.ESTABLISHED
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[FlowEntry]:
+        return self._entries.get(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[FlowEntry]:
+        return list(self._entries.values())
+
+    def expire_idle(self, now: float, idle_timeout_s: float) -> int:
+        """Drop entries idle longer than the timeout; returns the count."""
+        stale = [k for k, e in self._entries.items()
+                 if now - e.last_seen > idle_timeout_s]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def persistent_low_rate(self, min_age_s: float,
+                            max_rate_bps: float) -> List[FlowEntry]:
+        """The LFA-suspicion query: long-lived, low-rate, established."""
+        return [e for e in self._entries.values()
+                if e.is_persistent(min_age_s) and e.is_low_rate(max_rate_bps)
+                and e.tcp_state in (TcpState.ESTABLISHED, TcpState.SYN_SEEN)]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        return {
+            "entries": [
+                {
+                    "key": entry.key,
+                    "first_seen": entry.first_seen,
+                    "last_seen": entry.last_seen,
+                    "packets": entry.packets,
+                    "bytes": entry.bytes,
+                    "tcp_state": entry.tcp_state.value,
+                    "rate_bps": entry.rate_bps,
+                }
+                for entry in self._entries.values()
+            ]
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        self.clear()
+        for record in state["entries"]:
+            entry = FlowEntry(
+                key=record["key"], first_seen=record["first_seen"],
+                last_seen=record["last_seen"], packets=record["packets"],
+                bytes=record["bytes"],
+                tcp_state=TcpState(record["tcp_state"]),
+                rate_bps=record["rate_bps"])
+            self._entries[entry.key] = entry
+
+    def resource_requirement(self) -> ResourceVector:
+        # ~64B of SRAM per entry for key + counters + timestamps.
+        return ResourceVector(stages=2, sram_mb=self.capacity * 64 / 1e6,
+                              tcam_kb=0, alus=4)
+
+    def __repr__(self) -> str:
+        return (f"FlowTable({self.name!r}, {len(self)}/{self.capacity}, "
+                f"evictions={self.evictions})")

@@ -1,0 +1,7 @@
+"""Experiment drivers reproducing the paper's figures."""
+
+from .figure3 import (Figure3Config, Figure3Result, format_report,
+                      run_baseline, run_both, run_fastflex)
+
+__all__ = ["Figure3Config", "Figure3Result", "format_report",
+           "run_baseline", "run_both", "run_fastflex"]

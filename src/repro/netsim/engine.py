@@ -1,0 +1,231 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate everything else in :mod:`repro.netsim` runs on.
+It keeps a priority queue of timestamped callbacks and executes them in
+order.  Determinism matters for reproducing the paper's experiments, so ties
+on the timestamp are broken by insertion order and all randomness flows from
+a single seeded :class:`random.Random` owned by the simulator.
+
+The engine intentionally mirrors the small core of ns3 that the paper's
+"customized ns3 with bmv2 support" evaluation relies on: a virtual clock,
+one-shot events, periodic processes, and cancellation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly (e.g. time travel)."""
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    """Internal heap entry; ordering is (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("fn", "args", "kwargs", "cancelled", "time")
+
+    def __init__(self, time: float, fn: Callable[..., Any],
+                 args: tuple, kwargs: dict):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"EventHandle(t={self.time:.6f}, fn={name}, cancelled={self.cancelled})"
+
+
+class PeriodicProcess:
+    """A recurring event created by :meth:`Simulator.every`.
+
+    The process reschedules itself after each firing until stopped.  The
+    interval can be changed on the fly, which takes effect from the next
+    rescheduling onward (used e.g. to adapt probe frequencies).
+    """
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 fn: Callable[..., Any], args: tuple, kwargs: dict):
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.stopped = False
+        self._handle: Optional[EventHandle] = None
+
+    def start(self, delay: float = 0.0) -> "PeriodicProcess":
+        self._handle = self.sim.schedule(delay, self._fire)
+        return self
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        self.fn(*self.args, **self.kwargs)
+        if not self.stopped:
+            self._handle = self.sim.schedule(self.interval, self._fire)
+
+
+class Simulator:
+    """The discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned RNG.  Every stochastic component in the
+        simulation draws from :attr:`rng` so a given seed reproduces a run
+        exactly.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._queue: List[_QueuedEvent] = []
+        self._seq = itertools.count()
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._events_executed = 0
+        self._tracers: List[Callable[[float, EventHandle], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for instrumentation)."""
+        return self._events_executed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any, **kwargs: Any) -> EventHandle:
+        """Schedule ``fn(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args, **kwargs)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any],
+                    *args: Any, **kwargs: Any) -> EventHandle:
+        """Schedule ``fn`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}")
+        handle = EventHandle(time, fn, args, kwargs)
+        heapq.heappush(self._queue, _QueuedEvent(time, next(self._seq), handle))
+        return handle
+
+    def every(self, interval: float, fn: Callable[..., Any],
+              *args: Any, start: float = 0.0, **kwargs: Any) -> PeriodicProcess:
+        """Run ``fn`` every ``interval`` seconds, first firing after ``start``."""
+        proc = PeriodicProcess(self, interval, fn, args, kwargs)
+        return proc.start(start)
+
+    def add_tracer(self, tracer: Callable[[float, EventHandle], None]) -> None:
+        """Register a callback invoked before each event executes."""
+        self._tracers.append(tracer)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` passes, or the
+        event budget is exhausted.  Returns the final simulation time.
+        """
+        executed = 0
+        while self._queue:
+            entry = self._queue[0]
+            if until is not None and entry.time > until:
+                break
+            heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            for tracer in self._tracers:
+                tracer(self._now, handle)
+            handle.fn(*handle.args, **handle.kwargs)
+            self._events_executed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and self._now < until:
+            # Advance the clock even if the queue drained early, so callers
+            # observing `now` see the full requested horizon.
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False when idle."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            for tracer in self._tracers:
+                tracer(self._now, entry.handle)
+            entry.handle.fn(*entry.handle.args, **entry.handle.kwargs)
+            self._events_executed += 1
+            return True
+        return False
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for e in self._queue if not e.handle.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Simulator(now={self._now:.6f}, pending={self.pending()}, "
+                f"executed={self._events_executed})")
+
+
+@dataclass
+class SimContext:
+    """A bag of shared simulation-wide services.
+
+    Components that need the clock, the RNG, or cross-component registries
+    receive a context instead of global state, which keeps runs isolated and
+    parallel-test safe.
+    """
+
+    sim: Simulator
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self.sim.rng

@@ -1,0 +1,118 @@
+"""Metric collection: time series of throughput, utilization, and modes.
+
+The Figure 3 reproduction needs the normalized throughput of normal flows
+sampled over time; the ablations additionally record link utilizations and
+per-switch mode occupancy.  :class:`Monitor` samples on a fixed period and
+keeps everything as plain (time, value) series that experiments print or
+assert on.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .engine import PeriodicProcess
+from .fluid import FluidNetwork
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series with summary helpers."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, t: float, value: float) -> None:
+        self.samples.append((t, value))
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self.samples]
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def window(self, t0: float, t1: float) -> List[Tuple[float, float]]:
+        return [(t, v) for t, v in self.samples if t0 <= t < t1]
+
+    def mean_over(self, t0: float, t1: float) -> float:
+        values = [v for _, v in self.window(t0, t1)]
+        if not values:
+            raise ValueError(f"no samples of {self.name!r} in [{t0}, {t1})")
+        return statistics.fmean(values)
+
+    def min_over(self, t0: float, t1: float) -> float:
+        values = [v for _, v in self.window(t0, t1)]
+        if not values:
+            raise ValueError(f"no samples of {self.name!r} in [{t0}, {t1})")
+        return min(values)
+
+    def last(self) -> float:
+        if not self.samples:
+            raise ValueError(f"{self.name!r} has no samples")
+        return self.samples[-1][1]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class Monitor:
+    """Samples registered gauges every ``period`` seconds of sim time."""
+
+    def __init__(self, fluid: FluidNetwork, period: float = 0.5):
+        if period <= 0:
+            raise ValueError("monitor period must be positive")
+        self.fluid = fluid
+        self.sim = fluid.sim
+        self.period = period
+        self.series: Dict[str, TimeSeries] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._process: Optional[PeriodicProcess] = None
+
+    # ------------------------------------------------------------------
+    def add_gauge(self, name: str, fn: Callable[[], float]) -> TimeSeries:
+        if name in self._gauges:
+            raise ValueError(f"gauge {name!r} already registered")
+        self._gauges[name] = fn
+        self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def watch_normal_goodput(self, baseline_bps: float,
+                             name: str = "normal_goodput_norm") -> TimeSeries:
+        """Track normal-flow goodput normalized to a no-attack baseline —
+        the y-axis of Figure 3."""
+        if baseline_bps <= 0:
+            raise ValueError("baseline must be positive")
+        return self.add_gauge(
+            name, lambda: self.fluid.normal_goodput() / baseline_bps)
+
+    def watch_link_utilization(self, a: str, b: str,
+                               name: Optional[str] = None) -> TimeSeries:
+        label = name if name is not None else f"util:{a}->{b}"
+        link = self.fluid.topo.link(a, b)
+        return self.add_gauge(label, lambda: link.utilization)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Monitor":
+        self._process = self.sim.every(self.period, self.sample)
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def sample(self) -> None:
+        now = self.sim.now
+        for name, fn in self._gauges.items():
+            self.series[name].record(now, fn())
+
+    def get(self, name: str) -> TimeSeries:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise KeyError(f"no series named {name!r}; have "
+                           f"{sorted(self.series)}") from None

@@ -1,0 +1,124 @@
+"""Nodes: the common base class and end hosts.
+
+Switches live in :mod:`repro.netsim.switch`; this module provides the
+plumbing both share (link attachment, neighbor lookup) and the
+:class:`Host` endpoint that sources and sinks traffic, runs traceroutes,
+and hands received packets to application callbacks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from .engine import Simulator
+from .links import Link
+from .packet import Packet, PacketKind
+
+
+class Node:
+    """A network element with named links to neighbors."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        #: Outgoing links keyed by neighbor node name.
+        self.links: Dict[str, Link] = {}
+
+    # ------------------------------------------------------------------
+    def attach_link(self, link: Link) -> None:
+        if link.src is not self:
+            raise ValueError(
+                f"link {link.name} does not originate at {self.name}")
+        self.links[link.dst.name] = link
+
+    @property
+    def neighbors(self) -> List[str]:
+        return list(self.links)
+
+    def link_to(self, neighbor: str) -> Link:
+        try:
+            return self.links[neighbor]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no link to {neighbor}; "
+                f"neighbors are {sorted(self.links)}") from None
+
+    def send_via(self, neighbor: str, packet: Packet) -> bool:
+        """Transmit a packet over the link to ``neighbor``."""
+        return self.link_to(neighbor).send(packet)
+
+    def receive(self, packet: Packet, from_link: Optional[Link] = None) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class Host(Node):
+    """An end host: traffic endpoint and traceroute client.
+
+    Hosts do not forward transit traffic; everything they originate goes to
+    their default gateway switch.  Received packets are counted per kind
+    and dispatched to registered callbacks (the traceroute client in
+    :mod:`repro.netsim.tracing` registers one for ICMP).
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 gateway: Optional[str] = None):
+        super().__init__(sim, name)
+        self.gateway = gateway
+        self.received_by_kind: Dict[PacketKind, int] = defaultdict(int)
+        self.received_packets: List[Packet] = []
+        #: Cap on retained packets so long runs do not grow unboundedly;
+        #: counters keep counting past the cap.
+        self.retain_limit = 10_000
+        self._callbacks: List[Callable[[Packet], None]] = []
+
+    # ------------------------------------------------------------------
+    def on_packet(self, callback: Callable[[Packet], None]) -> None:
+        """Register a callback invoked for every packet addressed to us."""
+        self._callbacks.append(callback)
+
+    def originate(self, packet: Packet) -> bool:
+        """Send a locally generated packet toward its destination."""
+        packet.created_at = self.sim.now
+        packet.path_taken.append(self.name)
+        if packet.dst == self.name:
+            self.receive(packet)
+            return True
+        if self.gateway is None:
+            raise RuntimeError(f"host {self.name} has no gateway configured")
+        return self.send_via(self.gateway, packet)
+
+    def receive(self, packet: Packet, from_link: Optional[Link] = None) -> None:
+        if packet.dst != self.name:
+            # Hosts are not routers; transit traffic is silently dropped.
+            packet.mark_dropped("host_not_destination")
+            return
+        packet.path_taken.append(self.name)
+        self.received_by_kind[packet.kind] += 1
+        if len(self.received_packets) < self.retain_limit:
+            self.received_packets.append(packet)
+        if packet.kind == PacketKind.TRACEROUTE:
+            self._reply_traceroute(packet)
+        for callback in self._callbacks:
+            callback(packet)
+
+    def _reply_traceroute(self, probe: Packet) -> None:
+        """Answer a traceroute probe that reached us (like a real server's
+        ICMP port-unreachable): tells the tracer the destination was hit."""
+        reply = Packet(
+            src=self.name, dst=probe.src, size_bytes=64,
+            kind=PacketKind.ICMP_TTL_EXCEEDED,
+            headers={
+                "reporter": self.name,
+                "destination_reached": True,
+                "probe_id": probe.headers.get("probe_id"),
+                "probe_ttl": probe.headers.get("probe_ttl"),
+            },
+        )
+        self.originate(reply)
+
+    def received_count(self, kind: PacketKind = PacketKind.DATA) -> int:
+        return self.received_by_kind.get(kind, 0)

@@ -1,0 +1,412 @@
+"""The programmable switch: pipeline execution, forwarding, repurposing.
+
+A :class:`ProgrammableSwitch` executes an ordered list of installed
+*switch programs* on every packet (the runtime face of the paper's packet
+processing modules), then forwards per its routing table.  It also models
+the operational machinery of Section 3.4: resource accounting via a
+:class:`~repro.dataplane.resources.ResourceLedger`, reconfiguration
+downtime with neighbor notification, and fast reroute around neighbors
+that are down or reconfiguring.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..dataplane.resources import ResourceLedger, ResourceVector, TOFINO_LIKE
+from .engine import Simulator
+from .links import Link
+from .node import Node
+from .packet import Packet, PacketKind, Protocol
+
+
+class Decision(enum.Enum):
+    """Terminal decisions a switch program can make about a packet."""
+
+    CONTINUE = "continue"
+
+
+@dataclass
+class Drop:
+    """Drop the packet, recording why."""
+
+    reason: str
+
+
+@dataclass
+class Consume:
+    """Absorb the packet (e.g. a probe that terminates here)."""
+
+
+@dataclass
+class Forward:
+    """Override normal routing: send out of the link to ``neighbor``."""
+
+    neighbor: str
+
+
+#: What `SwitchProgram.process` may return: ``None``/``Decision.CONTINUE``
+#: to keep going, or one of the dataclasses above.
+ProgramResult = Optional[object]
+
+
+class LegacySwitchError(RuntimeError):
+    """Raised when installing a program on a fixed-function switch."""
+
+
+class SwitchProgram:
+    """Base class for the runtime behaviour installed on a switch.
+
+    Subclasses override :meth:`process`.  ``name`` must be unique per
+    switch (the resource ledger keys on it); ``requirement`` is the
+    program's resource vector.
+    """
+
+    def __init__(self, name: str,
+                 requirement: ResourceVector = ResourceVector.zero()):
+        self.name = name
+        self.requirement = requirement
+        self.switch: Optional["ProgrammableSwitch"] = None
+
+    def on_install(self, switch: "ProgrammableSwitch") -> None:
+        """Hook called when the program is installed."""
+        self.switch = switch
+
+    def on_remove(self, switch: "ProgrammableSwitch") -> None:
+        """Hook called when the program is removed."""
+        self.switch = None
+
+    def process(self, switch: "ProgrammableSwitch",
+                packet: Packet) -> ProgramResult:
+        raise NotImplementedError
+
+    def export_state(self) -> Dict[str, Any]:
+        """Serializable register state, for state transfer (Section 3.4)."""
+        return {}
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Restore register state produced by :meth:`export_state`."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass
+class SwitchStats:
+    """Forwarding-plane counters."""
+
+    packets_forwarded: int = 0
+    packets_dropped_no_route: int = 0
+    packets_dropped_by_program: int = 0
+    packets_dropped_reconfig: int = 0
+    packets_consumed: int = 0
+    ttl_expired: int = 0
+    fast_reroutes: int = 0
+
+
+class ProgrammableSwitch(Node):
+    """A P4-style switch with a multiplexed, reconfigurable pipeline.
+
+    With ``programmable=False`` the switch models a *legacy* fixed-
+    function device (§2: "legacy elements can still be part of the
+    default mode"): it forwards exactly like any other switch but
+    refuses program installation — FastFlex machinery must route
+    through it, not run on it.
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 resources: ResourceVector = TOFINO_LIKE,
+                 programmable: bool = True):
+        super().__init__(sim, name)
+        self.programmable = programmable
+        if not programmable:
+            resources = ResourceVector.zero()
+        self.ledger = ResourceLedger(resources)
+        self.stats = SwitchStats()
+        #: Ordered installed programs, executed per packet.
+        self.programs: List[SwitchProgram] = []
+        self._programs_by_name: Dict[str, SwitchProgram] = {}
+        #: ECMP routing table: destination host -> candidate next hops.
+        self.routes: Dict[str, List[str]] = {}
+        #: Per-(src, dst) pinned next hops — installed by TE deployments
+        #: and by rerouting defenses; consulted before ``routes`` so
+        #: packet-level traffic follows the same paths the fluid model
+        #: charges for those pairs.
+        self.flow_routes: Dict[tuple, str] = {}
+        #: Fast-reroute alternates: unusable next hop -> fallback next hop
+        #: (coarse, destination-agnostic; used when no per-destination
+        #: alternate is installed).
+        self.frr: Dict[str, str] = {}
+        #: Loop-free alternates per (unusable next hop, destination),
+        #: installed by
+        #: :func:`repro.netsim.routing.install_fast_reroute_alternates`.
+        self.frr_dst: Dict[tuple, str] = {}
+        #: Neighbors currently reconfiguring (avoided by forwarding).
+        self.avoid_neighbors: set = set()
+        #: True while this switch itself is being repurposed (Tofino-style
+        #: downtime); all transit packets are dropped meanwhile.
+        self.reconfiguring = False
+        #: Free-form per-switch state used by mode machinery and boosters.
+        self.scratch: Dict[str, Any] = {}
+        #: Observers called on every received packet (monitors, tests).
+        self.taps: List[Callable[["ProgrammableSwitch", Packet], None]] = []
+
+    # ------------------------------------------------------------------
+    # Program management (resource-checked)
+    # ------------------------------------------------------------------
+    def install_program(self, program: SwitchProgram,
+                        position: Optional[int] = None) -> None:
+        """Install a program, reserving its resources; raises if it
+        does not fit (the Section 3.1 feasibility constraint)."""
+        if not self.programmable:
+            raise LegacySwitchError(
+                f"{self.name} is a legacy fixed-function switch; "
+                f"programs cannot be installed on it")
+        if program.name in self._programs_by_name:
+            raise ValueError(
+                f"{self.name}: program {program.name!r} already installed")
+        self.ledger.allocate(program.name, program.requirement)
+        if position is None:
+            self.programs.append(program)
+        else:
+            self.programs.insert(position, program)
+        self._programs_by_name[program.name] = program
+        program.on_install(self)
+
+    def remove_program(self, name: str) -> SwitchProgram:
+        program = self._programs_by_name.pop(name, None)
+        if program is None:
+            raise KeyError(f"{self.name}: no program named {name!r}")
+        self.programs.remove(program)
+        self.ledger.release(name)
+        program.on_remove(self)
+        return program
+
+    def get_program(self, name: str) -> SwitchProgram:
+        try:
+            return self._programs_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: no program named {name!r}; installed: "
+                f"{sorted(self._programs_by_name)}") from None
+
+    def has_program(self, name: str) -> bool:
+        return name in self._programs_by_name
+
+    # ------------------------------------------------------------------
+    # Routing table management
+    # ------------------------------------------------------------------
+    def set_route(self, dst: str, next_hops: Sequence[str]) -> None:
+        hops = list(next_hops)
+        for hop in hops:
+            if hop not in self.links:
+                raise ValueError(
+                    f"{self.name}: next hop {hop} is not a neighbor")
+        self.routes[dst] = hops
+
+    def clear_routes(self) -> None:
+        self.routes.clear()
+
+    def _ecmp_pick(self, packet: Packet, candidates: List[str]) -> str:
+        """Deterministic hash-based ECMP selection.
+
+        Hashes only (src, dst) — per-pair rather than per-5-tuple — so a
+        host's traceroute probes follow the same path as its flows
+        (Paris-traceroute-style stability, and it keeps the fluid model's
+        per-pair paths consistent with packet-level forwarding).
+        """
+        if len(candidates) == 1:
+            return candidates[0]
+        key = f"{packet.src}|{packet.dst}"
+        digest = zlib.crc32(key.encode())
+        return candidates[digest % len(candidates)]
+
+    def _usable(self, neighbor: str) -> bool:
+        """Is the neighbor a valid forwarding target *as far as this
+        switch knows*?  A silently reconfiguring neighbor still looks
+        usable — that is precisely why §3.4 requires the notification
+        protocol: only an explicit notice (``avoid_neighbors``) or a
+        dead link diverts traffic before it blackholes."""
+        link = self.links.get(neighbor)
+        if link is None or not link.up:
+            return False
+        return neighbor not in self.avoid_neighbors
+
+    def _resolve_next_hop(self, packet: Packet,
+                          override: Optional[str] = None) -> Optional[str]:
+        """Pick a usable next hop, applying fast reroute when the primary
+        choice is down or reconfiguring (Section 3.4)."""
+        if override is not None:
+            if self._usable(override):
+                return override
+            rerouted = self._frr_alternate(override, packet.dst)
+            if rerouted is not None:
+                return rerouted
+            return None
+        pinned = self.flow_routes.get((packet.src, packet.dst))
+        if pinned is not None:
+            if self._usable(pinned):
+                return pinned
+            alternate = self._frr_alternate(pinned, packet.dst)
+            if alternate is not None:
+                return alternate
+            # Fall through to the destination-based tables.
+        candidates = self.routes.get(packet.dst, [])
+        if not candidates:
+            return None
+        primary = self._ecmp_pick(packet, candidates)
+        if self._usable(primary):
+            return primary
+        # Fast reroute: explicit alternate first, then any usable ECMP peer.
+        alternate = self._frr_alternate(primary, packet.dst)
+        if alternate is not None:
+            return alternate
+        for candidate in candidates:
+            if candidate != primary and self._usable(candidate):
+                self.stats.fast_reroutes += 1
+                return candidate
+        return None
+
+    def _frr_alternate(self, failed: str, dst: str) -> Optional[str]:
+        """A usable fast-reroute alternate for the failed next hop:
+        the per-destination loop-free alternate if installed, else the
+        coarse per-neighbor one."""
+        for candidate in (self.frr_dst.get((failed, dst)),
+                          self.frr.get(failed)):
+            if candidate is not None and candidate != failed \
+                    and self._usable(candidate):
+                self.stats.fast_reroutes += 1
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Packet handling
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, from_link: Optional[Link] = None) -> None:
+        if self.reconfiguring:
+            packet.mark_dropped("switch_reconfiguring")
+            self.stats.packets_dropped_reconfig += 1
+            return
+        packet.path_taken.append(self.name)
+        for tap in self.taps:
+            tap(self, packet)
+
+        local = packet.dst == self.name
+        if not local:
+            # TTL processing happens before the pipeline so traceroute
+            # probes that expire here are visible to obfuscation programs
+            # via the generated ICMP reply.
+            packet.ttl -= 1
+            if packet.ttl <= 0:
+                self.stats.ttl_expired += 1
+                self._reply_ttl_exceeded(packet)
+                return
+
+        override: Optional[str] = None
+        for program in list(self.programs):
+            result = program.process(self, packet)
+            if result is None or result is Decision.CONTINUE:
+                continue
+            if isinstance(result, Drop):
+                packet.mark_dropped(result.reason)
+                self.stats.packets_dropped_by_program += 1
+                return
+            if isinstance(result, Consume):
+                self.stats.packets_consumed += 1
+                return
+            if isinstance(result, Forward):
+                override = result.neighbor
+                continue
+            raise TypeError(
+                f"program {program.name!r} returned {result!r}")
+
+        if local:
+            # Control packets addressed to this switch terminate here;
+            # built-in kinds get their handlers, the rest were the
+            # pipeline's to consume.
+            if packet.kind == PacketKind.RECONFIG_NOTICE:
+                self.handle_reconfig_notice(packet)
+            self.stats.packets_consumed += 1
+            return
+
+        next_hop = self._resolve_next_hop(packet, override)
+        if next_hop is None:
+            packet.mark_dropped("no_route")
+            self.stats.packets_dropped_no_route += 1
+            return
+        self.stats.packets_forwarded += 1
+        self.send_via(next_hop, packet)
+
+    def _reply_ttl_exceeded(self, packet: Packet) -> None:
+        """Generate the ICMP time-exceeded reply traceroute relies on.
+
+        The ``reporter`` header is what an obfuscation program rewrites
+        (NetHide-style) to hide the true topology; programs get a chance to
+        do so through the ``mutate_icmp`` hook in scratch space.
+        """
+        reporter = self.name
+        mutator = self.scratch.get("icmp_reporter_mutator")
+        if mutator is not None:
+            reporter = mutator(self, packet)
+        reply = Packet(
+            src=self.name, dst=packet.src, size_bytes=64,
+            kind=PacketKind.ICMP_TTL_EXCEEDED, proto=Protocol.ICMP,
+            headers={
+                "reporter": reporter,
+                "probe_id": packet.headers.get("probe_id"),
+                "probe_ttl": packet.headers.get("probe_ttl"),
+            },
+        )
+        reply.created_at = self.sim.now
+        next_hop = self._resolve_next_hop(reply)
+        if next_hop is not None:
+            self.send_via(next_hop, reply)
+
+    # ------------------------------------------------------------------
+    # Repurposing (Section 3.4)
+    # ------------------------------------------------------------------
+    def notify_neighbors_of_reconfig(self, clearing: bool = False) -> None:
+        """Tell neighbors to route around (or back through) this switch."""
+        for neighbor, link in self.links.items():
+            notice = Packet(
+                src=self.name, dst=neighbor, size_bytes=64,
+                kind=PacketKind.RECONFIG_NOTICE, proto=Protocol.UDP,
+                headers={"switch": self.name, "clearing": clearing},
+            )
+            notice.created_at = self.sim.now
+            link.send(notice)
+
+    def begin_reconfiguration(self, duration_s: float,
+                              hitless: bool = False,
+                              on_complete: Optional[Callable[[], None]] = None
+                              ) -> None:
+        """Start a repurposing window.
+
+        With ``hitless=False`` (Tofino-style, footnote 1 of the paper) the
+        switch drops transit traffic for ``duration_s``; neighbors were
+        told to fast-reroute via :meth:`notify_neighbors_of_reconfig`.
+        With ``hitless=True`` (Trident-style) forwarding continues.
+        """
+        if duration_s < 0:
+            raise ValueError("reconfiguration duration must be >= 0")
+        if not hitless:
+            self.reconfiguring = True
+
+        def _finish() -> None:
+            self.reconfiguring = False
+            self.notify_neighbors_of_reconfig(clearing=True)
+            if on_complete is not None:
+                on_complete()
+
+        self.sim.schedule(duration_s, _finish)
+
+    def handle_reconfig_notice(self, packet: Packet) -> None:
+        """Process a neighbor's reconfiguration notice."""
+        switch = packet.headers["switch"]
+        if packet.headers.get("clearing"):
+            self.avoid_neighbors.discard(switch)
+        else:
+            self.avoid_neighbors.add(switch)

@@ -1,0 +1,135 @@
+"""Traffic matrices and workload generation.
+
+The controller plans the default mode against a *stable traffic matrix*
+(Section 2: "optimal configurations computed by centralized control, e.g.,
+using traffic engineering over a stable traffic matrix").  This module
+provides that matrix abstraction plus generators for the legitimate
+workloads the experiments use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .flows import Flow, make_flow
+from .topology import Topology
+
+
+@dataclass
+class TrafficMatrix:
+    """Aggregate demands between host pairs, in bits per second."""
+
+    demands: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def set_demand(self, src: str, dst: str, bps: float) -> None:
+        if bps < 0:
+            raise ValueError(f"demand must be >= 0, got {bps}")
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        self.demands[(src, dst)] = bps
+
+    def demand(self, src: str, dst: str) -> float:
+        return self.demands.get((src, dst), 0.0)
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        return sorted(self.demands)
+
+    def total(self) -> float:
+        return sum(self.demands.values())
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        return TrafficMatrix({k: v * factor for k, v in self.demands.items()})
+
+    @classmethod
+    def from_flows(cls, flows: Iterable[Flow]) -> "TrafficMatrix":
+        tm = cls()
+        for flow in flows:
+            key = (flow.src, flow.dst)
+            tm.demands[key] = tm.demands.get(key, 0.0) + flow.demand_bps
+        return tm
+
+    def to_flows(self, *, elastic: bool = True, dport: int = 80,
+                 start_time: float = 0.0) -> List[Flow]:
+        """One aggregate flow per nonzero matrix entry."""
+        flows = []
+        for (src, dst) in self.pairs():
+            bps = self.demands[(src, dst)]
+            if bps <= 0:
+                continue
+            flows.append(make_flow(src, dst, bps, elastic=elastic,
+                                   dport=dport, start_time=start_time))
+        return flows
+
+
+def uniform_matrix(topo: Topology, per_pair_bps: float,
+                   hosts: Optional[List[str]] = None) -> TrafficMatrix:
+    """All-to-all demand among ``hosts`` (default: every host)."""
+    names = hosts if hosts is not None else topo.host_names
+    tm = TrafficMatrix()
+    for src in names:
+        for dst in names:
+            if src != dst:
+                tm.set_demand(src, dst, per_pair_bps)
+    return tm
+
+
+def gravity_matrix(topo: Topology, total_bps: float,
+                   rng: Optional[random.Random] = None,
+                   hosts: Optional[List[str]] = None) -> TrafficMatrix:
+    """A gravity-model matrix: demand proportional to endpoint masses."""
+    names = hosts if hosts is not None else topo.host_names
+    if len(names) < 2:
+        raise ValueError("need at least two hosts for a traffic matrix")
+    rng = rng if rng is not None else topo.sim.rng
+    masses = {h: rng.uniform(0.5, 2.0) for h in names}
+    mass_total = sum(masses.values())
+    tm = TrafficMatrix()
+    norm = sum(masses[s] * masses[d] for s in names for d in names if s != d)
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            share = masses[src] * masses[dst] / norm
+            tm.set_demand(src, dst, total_bps * share)
+    del mass_total
+    return tm
+
+
+def client_server_flows(clients: List[str], server: str,
+                        per_client_bps: float, *,
+                        dport: int = 80,
+                        start_time: float = 0.0) -> List[Flow]:
+    """The Figure 3 legitimate workload: each client pulls from the victim
+    server at a steady aggregate rate."""
+    return [make_flow(client, server, per_client_bps, dport=dport,
+                      start_time=start_time)
+            for client in clients]
+
+
+def poisson_flow_arrivals(rng: random.Random, clients: List[str],
+                          server: str, rate_per_s: float,
+                          mean_size_bytes: float, horizon_s: float,
+                          bandwidth_bps: float = 50e6) -> List[Flow]:
+    """Finite flows arriving Poisson-style (used by churn tests).
+
+    Each flow transfers an exponentially sized payload at up to
+    ``bandwidth_bps``; its ``end_time`` assumes it gets full bandwidth
+    (an optimistic close — adequate for workload-shape tests).
+    """
+    if rate_per_s <= 0:
+        raise ValueError("arrival rate must be positive")
+    flows = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= horizon_s:
+            break
+        size = rng.expovariate(1.0 / mean_size_bytes)
+        duration = max(size * 8 / bandwidth_bps, 1e-3)
+        client = rng.choice(clients)
+        flows.append(make_flow(client, server, bandwidth_bps,
+                               sport=len(flows) + 1024,
+                               start_time=t, end_time=t + duration))
+    return flows

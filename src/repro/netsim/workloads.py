@@ -1,0 +1,166 @@
+"""Realistic workload generation: heavy tails and diurnal rhythms.
+
+The default-mode story of the paper rests on a *stable traffic matrix*
+that centralized TE optimizes for; real matrices are stable in shape but
+heavy-tailed in composition (a few elephants, many mice) and modulated
+over time (diurnal cycles).  This module provides those shapes so
+examples and tests can run the defenses against credible background
+traffic rather than uniform constants.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .engine import PeriodicProcess, Simulator
+from .flows import Flow, make_flow
+
+
+def pareto_sizes(rng: random.Random, n: int, alpha: float = 1.2,
+                 min_bytes: float = 10_000.0,
+                 cap_bytes: Optional[float] = 1e9) -> List[float]:
+    """Heavy-tailed (Pareto) flow sizes: many mice, a few elephants.
+
+    ``alpha`` near 1 gives the classic Internet mix; a cap keeps single
+    samples from dwarfing the whole workload in small experiments.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    sizes = []
+    for _ in range(n):
+        size = min_bytes * (1.0 - rng.random()) ** (-1.0 / alpha)
+        if cap_bytes is not None:
+            size = min(size, cap_bytes)
+        sizes.append(size)
+    return sizes
+
+
+def elephant_mice_split(sizes: Sequence[float],
+                        elephant_fraction: float = 0.1) -> tuple:
+    """Partition sizes into (elephants, mice) by the size quantile."""
+    if not 0 < elephant_fraction < 1:
+        raise ValueError("elephant_fraction must be in (0, 1)")
+    ranked = sorted(sizes, reverse=True)
+    cut = max(1, int(len(ranked) * elephant_fraction)) if ranked else 0
+    return ranked[:cut], ranked[cut:]
+
+
+def diurnal_profile(base_bps: float, amplitude: float = 0.5,
+                    period_s: float = 86_400.0,
+                    peak_at_s: float = 14 * 3600.0
+                    ) -> Callable[[float], float]:
+    """A sinusoidal day/night demand curve: ``demand(t)``.
+
+    ``amplitude`` is the relative swing (0.5 -> demand varies between
+    50 % and 150 % of base); the peak lands at ``peak_at_s`` within each
+    period.
+    """
+    if base_bps < 0:
+        raise ValueError("base demand must be >= 0")
+    if not 0 <= amplitude <= 1:
+        raise ValueError("amplitude must be in [0, 1]")
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+
+    def demand(t: float) -> float:
+        phase = 2 * math.pi * (t - peak_at_s) / period_s
+        return base_bps * (1.0 + amplitude * math.cos(phase))
+
+    return demand
+
+
+class DemandModulator:
+    """Periodically rewrites flows' demands from per-flow profiles.
+
+    Attach profiles (``flow -> demand(t)``) and start it; every
+    ``update_interval`` it sets each flow's ``demand_bps`` from its
+    profile — the fluid allocator picks the change up on its next pass.
+    """
+
+    def __init__(self, sim: Simulator, update_interval_s: float = 1.0):
+        if update_interval_s <= 0:
+            raise ValueError("update interval must be positive")
+        self.sim = sim
+        self.update_interval_s = update_interval_s
+        self._profiles: Dict[int, tuple] = {}
+        self._process: Optional[PeriodicProcess] = None
+        self.updates_applied = 0
+
+    def attach(self, flow: Flow,
+               profile: Callable[[float], float]) -> None:
+        self._profiles[flow.flow_id] = (flow, profile)
+
+    def start(self) -> "DemandModulator":
+        self._process = self.sim.every(self.update_interval_s, self._tick)
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for flow, profile in self._profiles.values():
+            flow.demand_bps = max(0.0, profile(now))
+            self.updates_applied += 1
+
+
+@dataclass
+class EnterpriseWorkload:
+    """A generated workload: flows plus the modulator driving them."""
+
+    flows: List[Flow] = field(default_factory=list)
+    modulator: Optional[DemandModulator] = None
+
+    @property
+    def total_base_demand(self) -> float:
+        return sum(f.demand_bps for f in self.flows)
+
+
+def enterprise_workload(sim: Simulator, clients: Sequence[str],
+                        servers: Sequence[str],
+                        total_bps: float,
+                        elephant_fraction: float = 0.1,
+                        elephant_share: float = 0.6,
+                        diurnal_amplitude: float = 0.0,
+                        period_s: float = 600.0,
+                        update_interval_s: float = 5.0
+                        ) -> EnterpriseWorkload:
+    """Client->server flows with an elephant/mice demand mix.
+
+    ``elephant_share`` of the total demand concentrates on the elephant
+    fraction of flows; an optional diurnal modulation (scaled down to
+    ``period_s`` so experiments see full cycles) varies every demand.
+    """
+    if not clients or not servers:
+        raise ValueError("need at least one client and one server")
+    if not 0 <= elephant_share <= 1:
+        raise ValueError("elephant_share must be in [0, 1]")
+    rng = sim.rng
+    n = len(clients)
+    n_elephants = max(1, int(n * elephant_fraction))
+    per_elephant = total_bps * elephant_share / n_elephants
+    n_mice = max(n - n_elephants, 1)
+    per_mouse = total_bps * (1.0 - elephant_share) / n_mice
+
+    workload = EnterpriseWorkload()
+    modulator = DemandModulator(sim, update_interval_s=update_interval_s)
+    for index, client in enumerate(clients):
+        server = servers[index % len(servers)]
+        base = per_elephant if index < n_elephants else per_mouse
+        flow = make_flow(client, server, base, sport=20_000 + index)
+        workload.flows.append(flow)
+        if diurnal_amplitude > 0:
+            profile = diurnal_profile(
+                base, amplitude=diurnal_amplitude, period_s=period_s,
+                peak_at_s=rng.uniform(0, period_s))
+            modulator.attach(flow, profile)
+    if diurnal_amplitude > 0:
+        workload.modulator = modulator
+    return workload

@@ -1,0 +1,94 @@
+"""Tests for the Coremelt attacker and its defense end-to-end."""
+
+import pytest
+
+from repro.attacks.coremelt import CoremeltAttacker
+from repro.boosters import build_figure2_defense
+from repro.netsim import (FlowSet, FluidNetwork, GBPS, Simulator,
+                          figure2_topology, install_fast_reroute_alternates,
+                          install_flow_route, install_host_routes,
+                          install_switch_routes, make_flow)
+
+
+@pytest.fixture
+def two_sided(sim):
+    net = figure2_topology(sim, n_bots=4, n_bots_right=3,
+                           detour_capacity=2 * GBPS)
+    install_host_routes(net.topo)
+    install_switch_routes(net.topo)
+    install_fast_reroute_alternates(net.topo)
+    return net
+
+
+class TestCoremelt:
+    def test_needs_bots_on_both_sides(self, two_sided, sim):
+        fluid = FluidNetwork(two_sided.topo, FlowSet())
+        with pytest.raises(ValueError):
+            CoremeltAttacker(two_sided.topo, fluid,
+                             left_bots=two_sided.bot_hosts, right_bots=[])
+
+    def test_eligible_pairs_cross_the_target(self, two_sided, sim):
+        fluid = FluidNetwork(two_sided.topo, FlowSet())
+        attacker = CoremeltAttacker(
+            two_sided.topo, fluid, left_bots=two_sided.bot_hosts,
+            right_bots=two_sided.right_bot_hosts)
+        for target in two_sided.critical_links:
+            for left, right, path in attacker.eligible_pairs(target):
+                assert target in path.links()
+
+    def test_launch_floods_the_core_without_a_victim_endpoint(
+            self, two_sided, sim):
+        fluid = FluidNetwork(two_sided.topo, FlowSet())
+        attacker = CoremeltAttacker(
+            two_sided.topo, fluid, left_bots=two_sided.bot_hosts,
+            right_bots=two_sided.right_bot_hosts,
+            connections_per_pair=300, per_connection_bps=10e6)
+        # Pick whichever critical link has eligible pairs.
+        target = max(two_sided.critical_links,
+                     key=lambda l: len(attacker.eligible_pairs(l)))
+        n_pairs = attacker.launch(target)
+        assert n_pairs >= 1
+        fluid.start()
+        sim.run(until=1.0)
+        link = two_sided.topo.link(*target)
+        assert link.utilization > 0.95
+        # No flow terminates at the victim: the core is the target.
+        assert all(f.dst != "victim" for f in attacker.flows)
+
+
+class TestCoremeltDefense:
+    def test_fastflex_protects_transit_traffic(self, sim):
+        net = figure2_topology(sim, n_bots=4, n_bots_right=3,
+                               detour_capacity=2 * GBPS)
+        flows = FlowSet()
+        for index, client in enumerate(net.client_hosts):
+            flows.add(make_flow(client, net.victim, 1.5 * GBPS,
+                                sport=12_000 + index))
+        fluid = FluidNetwork(net.topo, flows)
+        defense = build_figure2_defense(net, fluid)
+        deployment = defense.setup(flows)
+        for flow in flows:
+            install_flow_route(net.topo, flow.path)
+        fluid.start()
+
+        attacker = CoremeltAttacker(
+            net.topo, fluid, left_bots=net.bot_hosts,
+            right_bots=net.right_bot_hosts,
+            connections_per_pair=200, per_connection_bps=10e6)
+
+        def aim_and_fire():
+            # Coremelt aims at whichever critical link its pairs cross.
+            target = max(net.critical_links,
+                         key=lambda l: len(attacker.eligible_pairs(l)))
+            attacker.launch(target)
+
+        sim.schedule(2.0, aim_and_fire)
+        sim.run(until=12.0)
+
+        assert defense.detector.detections, "LFA detector missed Coremelt"
+        assert defense.mitigation_active()
+        # The bot-pair flows were classified and policed despite having
+        # no victim endpoint in common.
+        assert all(f.suspicious for f in attacker.flows)
+        goodput = fluid.normal_goodput() / (4 * 1.5 * GBPS)
+        assert goodput > 0.9

@@ -1,0 +1,96 @@
+"""Tests for pulsing and volumetric attackers."""
+
+import pytest
+
+from repro.attacks import (MultiVectorAttacker, PulsingAttacker,
+                           VolumetricDdosAttacker)
+from repro.netsim import FlowSet, FluidNetwork, GBPS
+
+
+@pytest.fixture
+def scene(fig2):
+    return fig2, FluidNetwork(fig2.topo, FlowSet())
+
+
+class TestPulsing:
+    def test_demand_follows_square_wave(self, scene, sim):
+        net, fluid = scene
+        attacker = PulsingAttacker(
+            net.topo, fluid, bots=net.bot_hosts[:2],
+            decoys=net.decoy_servers, on_duration_s=1.0,
+            off_duration_s=1.0, connections_per_bot=100,
+            per_connection_bps=10e6)
+        attacker.start()
+        fluid.start()
+        samples = {}
+        for t in (0.5, 1.5, 2.5, 3.5):
+            sim.schedule(t, lambda t=t: samples.update(
+                {t: attacker.attack_offered()}))
+        sim.run(until=4.0)
+        assert samples[0.5] > 0 and samples[2.5] > 0
+        assert samples[1.5] == 0 and samples[3.5] == 0
+        assert attacker.pulses >= 2
+
+    def test_pulse_durations_validated(self, scene):
+        net, fluid = scene
+        with pytest.raises(ValueError):
+            PulsingAttacker(net.topo, fluid, net.bot_hosts,
+                            net.decoy_servers, on_duration_s=0.0)
+
+    def test_events_logged(self, scene, sim):
+        net, fluid = scene
+        attacker = PulsingAttacker(
+            net.topo, fluid, bots=net.bot_hosts[:1],
+            decoys=net.decoy_servers, on_duration_s=0.5,
+            off_duration_s=0.5)
+        attacker.start()
+        sim.run(until=2.2)
+        kinds = [e.kind for e in attacker.events]
+        assert kinds.count("resume") >= 2
+        assert kinds.count("pause") >= 2
+
+
+class TestVolumetric:
+    def test_udp_flood_saturates_victim_links(self, scene, sim):
+        net, fluid = scene
+        attacker = VolumetricDdosAttacker(
+            net.topo, fluid, bots=net.bot_hosts, victim=net.victim,
+            rate_per_bot_bps=5 * GBPS)
+        attacker.launch()
+        fluid.start()
+        sim.run(until=1.0)
+        assert not any(f.elastic for f in attacker.flows)
+        # 30 Gbps of non-backing-off traffic: some victim-ward link is
+        # overloaded.
+        overloaded = [l for l in net.topo.links.values()
+                      if l.utilization > 1.0]
+        assert overloaded
+
+    def test_duration_bounds_flood(self, scene, sim):
+        net, fluid = scene
+        attacker = VolumetricDdosAttacker(
+            net.topo, fluid, bots=net.bot_hosts[:2], victim=net.victim)
+        attacker.launch(duration_s=1.0)
+        fluid.start()
+        sim.run(until=2.0)
+        assert attacker.attack_offered() == 0.0
+
+
+class TestMultiVector:
+    def test_both_vectors_active(self, scene, sim):
+        net, fluid = scene
+        attacker = MultiVectorAttacker(
+            net.topo, fluid,
+            lfa_bots=net.bot_hosts[:3], decoys=net.decoy_servers,
+            lfa_victim=net.victim,
+            ddos_bots=net.bot_hosts[3:], ddos_victim="client0",
+            connections_per_bot=100, per_connection_bps=10e6)
+        attacker.launch()
+        fluid.start()
+        sim.run(until=3.0)
+        assert attacker.lfa.flows and attacker.ddos.flows
+        assert all(f.elastic for f in attacker.lfa.flows)
+        assert not any(f.elastic for f in attacker.ddos.flows)
+        # Different destinations: mixed vectors hit different regions.
+        assert {f.dst for f in attacker.lfa.flows} <= {"decoy0", "decoy1"}
+        assert {f.dst for f in attacker.ddos.flows} == {"client0"}

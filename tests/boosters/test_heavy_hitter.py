@@ -1,0 +1,136 @@
+"""Tests for the HashPipe heavy-hitter / volumetric DDoS booster."""
+
+import pytest
+
+from repro.attacks import attack_packet_stream
+from repro.boosters import HeavyHitterBooster
+from repro.core import (DetectorSyncAgent, ModeEventBus, ModeRegistry,
+                        install_mode_agents)
+from repro.netsim import Packet
+
+
+@pytest.fixture
+def deployed(fig2, sim):
+    booster = HeavyHitterBooster(byte_threshold=100_000)
+    registry = ModeRegistry()
+    for spec in booster.modes():
+        registry.register(spec)
+    registry.always_on.add(booster.name)
+    agents = install_mode_agents(fig2.topo, registry, bus=ModeEventBus())
+    switch = fig2.topo.switch("sL")
+    switch.install_program(booster._make_detector(switch))
+    switch.install_program(booster._make_filter(switch))
+    return fig2, booster, agents
+
+
+def pump_traffic(fig2, sim, n_heavy=300, n_light=50):
+    for index in range(n_heavy):
+        fig2.topo.host("bot0").originate(
+            Packet(src="bot0", dst="victim", size_bytes=1500,
+                   sport=1000 + index % 50))
+    for index in range(n_light):
+        fig2.topo.host("client0").originate(
+            Packet(src="client0", dst="victim", size_bytes=200,
+                   sport=2000 + index))
+    sim.run(until=sim.now + 1.0)
+
+
+class TestDetection:
+    def test_heavy_source_identified(self, deployed, sim):
+        fig2, booster, agents = deployed
+        pump_traffic(fig2, sim)
+        heavy = booster.heavy_sources("sL")
+        assert "bot0" in heavy
+        assert "client0" not in heavy
+
+    def test_counting_runs_in_default_mode(self, deployed, sim):
+        fig2, booster, agents = deployed
+        pump_traffic(fig2, sim, n_heavy=10, n_light=0)
+        assert booster.detectors["sL"].pipe.total > 0
+
+    def test_filter_idle_until_mode_active(self, deployed, sim):
+        fig2, booster, agents = deployed
+        booster.flag_everywhere("bot0")
+        pkt = Packet(src="bot0", dst="victim", size_bytes=1500)
+        fig2.topo.host("bot0").originate(pkt)
+        sim.run(until=sim.now + 1.0)
+        assert pkt.dropped is None  # default mode: filter gated off
+
+    def test_filter_drops_in_mode(self, deployed, sim):
+        fig2, booster, agents = deployed
+        booster.flag_everywhere("bot0")
+        agents["sL"].initiate("ddos", "ddos_filter")
+        sim.run(until=sim.now + 0.5)
+        pkt = Packet(src="bot0", dst="victim", size_bytes=1500)
+        good = Packet(src="client0", dst="victim", size_bytes=200)
+        fig2.topo.host("bot0").originate(pkt)
+        fig2.topo.host("client0").originate(good)
+        sim.run(until=sim.now + 1.0)
+        assert pkt.dropped == "heavy_hitter"
+        assert good.dropped is None
+        assert booster.filters["sL"].packets_dropped == 1
+
+    def test_unflag_all(self, deployed, sim):
+        fig2, booster, agents = deployed
+        booster.flag_everywhere("bot0")
+        booster.filters["sL"].unflag_all()
+        agents["sL"].initiate("ddos", "ddos_filter")
+        sim.run(until=sim.now + 0.5)
+        pkt = Packet(src="bot0", dst="victim")
+        fig2.topo.host("bot0").originate(pkt)
+        sim.run(until=sim.now + 0.5)
+        assert pkt.dropped is None
+
+
+class TestNetworkWide:
+    def test_sync_agents_merge_counts(self, fig2, sim):
+        booster = HeavyHitterBooster(byte_threshold=100_000)
+        for name in ("sL", "sR"):
+            switch = fig2.topo.switch(name)
+            switch.install_program(booster._make_detector(switch))
+        # Each locality sees only part of the volume.
+        booster.detectors["sL"].pipe.update("elephant", 60_000)
+        booster.detectors["sR"].pipe.update("elephant", 60_000)
+
+        agents = {}
+        for name in ("sL", "sR"):
+            agent = DetectorSyncAgent(
+                source=booster.detectors[name].local_counts,
+                peers=[p for p in ("sL", "sR") if p != name],
+                sync_period_s=0.1, name="hh.sync")
+            fig2.topo.switch(name).install_program(agent)
+            agents[name] = agent
+        sim.run(until=0.5)
+        # Locally below threshold, globally above — only the merged view
+        # catches the network-wide heavy hitter ([34]).
+        assert booster.heavy_sources("sL") == {}
+        assert "elephant" in agents["sL"].global_exceeders(100_000)
+
+
+class TestWorkloadGenerator:
+    def test_attack_stream_mix(self, sim):
+        import random
+        rng = random.Random(5)
+        packets = list(attack_packet_stream(
+            rng, ["bot0", "bot1"], ["client0"], "victim",
+            n_packets=500, attack_fraction=0.8))
+        assert len(packets) == 500
+        attack = [p for p in packets if p.src.startswith("bot")]
+        assert 300 < len(attack) < 480
+
+    def test_spoofed_ttls(self):
+        import random
+        rng = random.Random(6)
+        packets = list(attack_packet_stream(
+            rng, ["bot0"], ["client0"], "victim", n_packets=200,
+            attack_fraction=1.0, spoof_ttl=True))
+        assert len({p.ttl for p in packets}) > 5
+
+    def test_validation(self):
+        import random
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            list(attack_packet_stream(rng, [], ["c"], "v", 10))
+        with pytest.raises(ValueError):
+            list(attack_packet_stream(rng, ["b"], ["c"], "v", 10,
+                                      attack_fraction=2.0))

@@ -1,0 +1,116 @@
+"""Tests for the NetHCF-style hop-count filtering booster."""
+
+import pytest
+
+from repro.boosters import (HopCountFilterBooster, INITIAL_TTLS,
+                            infer_hop_count)
+from repro.core import ModeEventBus, ModeRegistry, install_mode_agents
+from repro.netsim import Packet
+
+
+class TestInference:
+    def test_inference_picks_next_canonical_ttl(self):
+        assert infer_hop_count(60) == 4     # from 64
+        assert infer_hop_count(64) == 0
+        assert infer_hop_count(120) == 8    # from 128
+        assert infer_hop_count(250) == 5    # from 255
+        assert infer_hop_count(30) == 2     # from 32
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            infer_hop_count(-1)
+
+
+@pytest.fixture
+def deployed(fig2, sim):
+    booster = HopCountFilterBooster()
+    registry = ModeRegistry()
+    for spec in booster.modes():
+        registry.register(spec)
+    agents = install_mode_agents(fig2.topo, registry, bus=ModeEventBus())
+    switch = fig2.topo.switch("sL")
+    switch.install_program(booster._make_program(switch))
+    return fig2, booster, agents
+
+
+def send(fig2, sim, src="client0", ttl=64):
+    pkt = Packet(src=src, dst="victim", ttl=ttl)
+    fig2.topo.host(src).originate(pkt)
+    sim.run(until=sim.now + 0.5)
+    return pkt
+
+
+class TestLearning:
+    def test_first_sight_learned(self, deployed, sim):
+        fig2, booster, agents = deployed
+        send(fig2, sim, ttl=64)
+        # One hop from client0 to sL: observed TTL is 63... the learning
+        # happens at sL *after* its own decrement? No: the program runs
+        # on sL, which decremented to 63, so hop count = 1.
+        assert booster.programs["sL"].learned["client0"] == 1
+
+    def test_consistent_traffic_passes_in_learning(self, deployed, sim):
+        fig2, booster, agents = deployed
+        first = send(fig2, sim, ttl=64)
+        second = send(fig2, sim, ttl=64)
+        assert first.dropped is None and second.dropped is None
+        assert booster.programs["sL"].mismatches == 0
+
+    def test_mismatch_counted_but_not_dropped_in_learning(self, deployed,
+                                                          sim):
+        fig2, booster, agents = deployed
+        send(fig2, sim, ttl=64)
+        spoofed = send(fig2, sim, ttl=40)  # pretends 24 hops away
+        assert spoofed.dropped is None
+        assert booster.programs["sL"].mismatches == 1
+
+
+class TestFiltering:
+    def test_spoofed_packet_dropped_in_filter_mode(self, deployed, sim):
+        fig2, booster, agents = deployed
+        send(fig2, sim, ttl=64)  # learn the honest distance
+        agents["sL"].initiate("spoofing", "hcf_filter")
+        sim.run(until=sim.now + 0.5)
+        spoofed = send(fig2, sim, ttl=40)
+        assert spoofed.dropped == "hop_count_mismatch"
+        assert booster.programs["sL"].packets_dropped == 1
+
+    def test_honest_packet_passes_in_filter_mode(self, deployed, sim):
+        fig2, booster, agents = deployed
+        send(fig2, sim, ttl=64)
+        agents["sL"].initiate("spoofing", "hcf_filter")
+        sim.run(until=sim.now + 0.5)
+        honest = send(fig2, sim, ttl=64)
+        assert honest.dropped is None
+
+    def test_unknown_source_accepted_then_checked(self, deployed, sim):
+        fig2, booster, agents = deployed
+        agents["sL"].initiate("spoofing", "hcf_filter")
+        sim.run(until=sim.now + 0.5)
+        first = send(fig2, sim, src="bot0", ttl=64)
+        assert first.dropped is None  # conservative accept
+        lied = send(fig2, sim, src="bot0", ttl=50)  # claims 14 hops away
+        assert lied.dropped == "hop_count_mismatch"
+
+    def test_tolerance_allows_small_wobble(self, fig2, sim):
+        booster = HopCountFilterBooster(tolerance=1)
+        registry = ModeRegistry()
+        for spec in booster.modes():
+            registry.register(spec)
+        agents = install_mode_agents(fig2.topo, registry)
+        switch = fig2.topo.switch("sL")
+        switch.install_program(booster._make_program(switch))
+        send(fig2, sim, ttl=64)
+        agents["sL"].initiate("spoofing", "hcf_filter")
+        sim.run(until=sim.now + 0.5)
+        wobble = send(fig2, sim, ttl=63)  # one hop further: tolerated
+        assert wobble.dropped is None
+
+    def test_state_roundtrip(self, deployed, sim):
+        fig2, booster, agents = deployed
+        send(fig2, sim, ttl=64)
+        program = booster.programs["sL"]
+        switch = fig2.topo.switch("s2")
+        clone = HopCountFilterBooster()._make_program(switch)
+        clone.import_state(program.export_state())
+        assert clone.learned == program.learned

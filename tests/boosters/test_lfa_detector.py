@@ -1,0 +1,131 @@
+"""Tests for the LFA detection booster."""
+
+import pytest
+
+from repro.boosters import (LFA_MITIGATION_MODE, LfaDetectorBooster,
+                            LfaDetectorProgram, build_figure2_defense)
+from repro.dataplane import TcpState
+from repro.netsim import (FlowSet, FluidNetwork, GBPS, Packet, Path,
+                          TcpFlags, install_flow_route, make_flow,
+                          shortest_path)
+
+
+class TestPacketPath:
+    def test_flow_table_tracks_data_packets(self, fig2, sim):
+        program = LfaDetectorProgram("lfa_detector", "det", capacity=128)
+        fig2.topo.switch("sL").install_program(program)
+        pkt = Packet(src="client0", dst="victim", size_bytes=500,
+                     tcp_flags=TcpFlags.SYN)
+        fig2.topo.host("client0").originate(pkt)
+        sim.run()
+        entry = program.table.get(pkt.flow_key)
+        assert entry is not None
+        assert entry.packets == 1
+        assert entry.tcp_state == TcpState.SYN_SEEN
+
+    def test_control_packets_ignored(self, fig2, sim):
+        from repro.netsim import PacketKind
+        program = LfaDetectorProgram("lfa_detector", "det")
+        fig2.topo.switch("sL").install_program(program)
+        probe = Packet(src="client0", dst="victim",
+                       kind=PacketKind.TRACEROUTE,
+                       headers={"probe_id": 1, "probe_ttl": 9})
+        fig2.topo.host("client0").originate(probe)
+        sim.run()
+        assert len(program.table) == 0
+
+    def test_state_roundtrip(self, fig2, sim):
+        program = LfaDetectorProgram("lfa_detector", "det")
+        program.table.observe("key", 1.0, size_bytes=100, syn=True)
+        clone = LfaDetectorProgram("lfa_detector", "det")
+        clone.import_state(program.export_state())
+        assert clone.table.get("key").packets == 1
+
+
+def attacked_deployment(fig2_fluid, detector_kwargs=None):
+    """Figure 2 network with the defense deployed and a flood starting."""
+    net, fluid, flows = fig2_fluid
+    detector = LfaDetectorBooster(fluid=fluid, **(detector_kwargs or {}))
+    defense = build_figure2_defense(net, fluid, detector=detector)
+    deployment = defense.setup(flows)
+    for flow in flows:
+        install_flow_route(net.topo, flow.path)
+    fluid.start()
+    return net, fluid, flows, defense, deployment
+
+
+def add_bot_flood(net, fluid, start=2.0, per_conn=10e6, conns=200):
+    path = Path.of(["bot0", "sL", "s1", "sR", "decoy0"])
+    for index, bot in enumerate(net.bot_hosts):
+        flow = make_flow(bot, "decoy0", demand_bps=conns * per_conn,
+                         weight=float(conns), sport=60_000 + index,
+                         malicious=True, start_time=start)
+        flow.set_path(Path.of([bot] + list(path.nodes[1:])))
+        fluid.flows.add(flow)
+
+
+class TestFluidDetection:
+    def test_flood_triggers_detection_and_mode_change(self, fig2_fluid,
+                                                      sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        add_bot_flood(net, fluid)
+        sim.run(until=5.0)
+        assert defense.detector.detections, "expected a detection"
+        detection = defense.detector.detections[0]
+        assert detection.time == pytest.approx(2.3, abs=0.5)
+        assert detection.link in {("sL", "s1"), ("s1", "sR")}
+        active = deployment.bus.switches_in_mode("lfa",
+                                                 LFA_MITIGATION_MODE)
+        assert len(active) == len(net.topo.switch_names)
+
+    def test_attack_flows_marked_suspicious(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        add_bot_flood(net, fluid)
+        sim.run(until=5.0)
+        malicious = fluid.flows.malicious()
+        assert all(f.suspicious for f in malicious)
+        assert all(f.suspicion_score > 0 for f in malicious)
+
+    def test_normal_flows_not_flagged(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        add_bot_flood(net, fluid)
+        sim.run(until=5.0)
+        assert all(not f.suspicious for f in fluid.flows.normal())
+
+    def test_no_attack_no_detection(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        sim.run(until=5.0)
+        assert defense.detector.detections == []
+        assert not defense.mitigation_active()
+
+    def test_high_rate_connections_not_flagged(self, fig2_fluid, sim):
+        # Few fat connections saturating a link are NOT the Crossfire
+        # pattern: signal (b) must reject them even when signal (a) fires.
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        fat = make_flow("bot0", "decoy0", demand_bps=12 * GBPS,
+                        weight=2.0, malicious=True, start_time=2.0)
+        fat.set_path(Path.of(["bot0", "sL", "s1", "sR", "decoy0"]))
+        fluid.flows.add(fat)
+        sim.run(until=5.0)
+        assert not fat.suspicious
+
+    def test_mode_reverts_after_attack_subsides(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid, detector_kwargs={"clear_sustain_s": 0.5})
+        add_bot_flood(net, fluid)
+        sim.run(until=5.0)
+        assert defense.mitigation_active()
+        # Attacker gives up at t=5.
+        now = sim.now
+        for flow in fluid.flows.malicious():
+            flow.end_time = now
+        sim.run(until=9.0)
+        assert not defense.mitigation_active()
+        agent = deployment.agent("sL")
+        assert agent.mode_table.mode_for("lfa") == "default"
+        assert all(not f.suspicious for f in fluid.flows)

@@ -1,0 +1,108 @@
+"""Tests for the NetWarden-style covert-channel booster."""
+
+import pytest
+
+from repro.boosters import (CANONICAL_TTL, LfaDetectorBooster,
+                            NetWardenBooster)
+from repro.core import (ModeEventBus, ModeRegistry, ProgramAnalyzer,
+                        install_mode_agents)
+from repro.netsim import Packet
+
+
+@pytest.fixture
+def deployed(fig2, sim):
+    booster = NetWardenBooster(ttl_variants_threshold=3)
+    registry = ModeRegistry()
+    for spec in booster.modes():
+        registry.register(spec)
+    agents = install_mode_agents(fig2.topo, registry, bus=ModeEventBus())
+    switch = fig2.topo.switch("sL")
+    switch.install_program(booster._make_program(switch))
+    return fig2, booster, agents
+
+
+def send(fig2, sim, ttl, src="bot0", dst="victim", sport=7):
+    pkt = Packet(src=src, dst=dst, ttl=ttl, sport=sport)
+    fig2.topo.host(src).originate(pkt)
+    sim.run(until=sim.now + 0.2)
+    return pkt
+
+
+class TestDetection:
+    def test_constant_ttl_flow_is_clean(self, deployed, sim):
+        fig2, booster, agents = deployed
+        for _ in range(10):
+            pkt = send(fig2, sim, ttl=64)
+        program = booster.programs["sL"]
+        assert not program.is_suspect(pkt.flow_key)
+
+    def test_modulated_ttl_flow_flagged(self, deployed, sim):
+        fig2, booster, agents = deployed
+        # An exfiltrating endpoint encodes bits in the TTL field.
+        for ttl in (64, 63, 62, 61, 60, 59):
+            pkt = send(fig2, sim, ttl=ttl)
+        assert booster.programs["sL"].is_suspect(pkt.flow_key)
+
+    def test_small_wobble_below_threshold_tolerated(self, deployed, sim):
+        fig2, booster, agents = deployed
+        for ttl in (64, 63, 64, 63):
+            pkt = send(fig2, sim, ttl=ttl)
+        assert not booster.programs["sL"].is_suspect(pkt.flow_key)
+
+    def test_flows_tracked_independently(self, deployed, sim):
+        fig2, booster, agents = deployed
+        for index, ttl in enumerate((64, 60, 56, 52, 48)):
+            bad = send(fig2, sim, ttl=ttl, sport=1)
+        good = send(fig2, sim, ttl=64, sport=2)
+        program = booster.programs["sL"]
+        assert program.is_suspect(bad.flow_key)
+        assert not program.is_suspect(good.flow_key)
+
+
+class TestNormalization:
+    def test_suspect_normalized_only_in_mode(self, deployed, sim):
+        fig2, booster, agents = deployed
+        for ttl in (64, 60, 56, 52, 48):
+            send(fig2, sim, ttl=ttl)
+        # Default mode: detection only, TTL untouched beyond routing.
+        probe = send(fig2, sim, ttl=40)
+        assert probe.ttl != CANONICAL_TTL
+        assert booster.programs["sL"].packets_normalized == 0
+
+        agents["sL"].initiate("covert_channel", "covert_normalize")
+        sim.run(until=sim.now + 0.5)
+        victim = fig2.topo.host("victim")
+        before = len(victim.received_packets)
+        send(fig2, sim, ttl=40)
+        normalized = victim.received_packets[before]
+        # The channel is destroyed: whatever the sender encoded, the
+        # receiver-side TTL is canonical minus the remaining hop count.
+        assert booster.programs["sL"].packets_normalized == 1
+        assert normalized.ttl == CANONICAL_TTL - 2
+
+    def test_clean_flows_never_rewritten(self, deployed, sim):
+        fig2, booster, agents = deployed
+        agents["sL"].initiate("covert_channel", "covert_normalize")
+        sim.run(until=sim.now + 0.5)
+        send(fig2, sim, ttl=64, sport=9)
+        assert booster.programs["sL"].packets_normalized == 0
+
+    def test_state_roundtrip(self, deployed, sim):
+        fig2, booster, agents = deployed
+        for ttl in (64, 60, 56, 52, 48):
+            pkt = send(fig2, sim, ttl=ttl)
+        program = booster.programs["sL"]
+        clone = NetWardenBooster()._make_program(fig2.topo.switch("s2"))
+        clone.import_state(program.export_state())
+        assert clone.is_suspect(pkt.flow_key)
+
+
+class TestSharingDeclaration:
+    def test_flow_table_shared_with_lfa_detector(self):
+        merged = ProgramAnalyzer().merge([
+            LfaDetectorBooster().dataflow(),
+            NetWardenBooster().dataflow()])
+        lfa_node = merged.merged_name("lfa_detector.flow_state")
+        nw_node = merged.merged_name("netwarden.conn_state")
+        assert lfa_node == nw_node
+        assert lfa_node.startswith("shared.")

@@ -1,0 +1,99 @@
+"""Tests for the NetHide-style topology obfuscation booster."""
+
+import pytest
+
+from repro.netsim import Path, TracerouteClient, default_path_for, \
+    install_flow_route
+from tests.boosters.test_lfa_detector import (add_bot_flood,
+                                              attacked_deployment)
+
+
+def trace(topo, sim, src, dst, timeout=0.4):
+    tracer = TracerouteClient(topo, src, timeout_s=timeout)
+    results = []
+    tracer.trace(dst, callback=results.append)
+    sim.run(until=sim.now + 1.0)
+    return results[0]
+
+
+class TestObfuscation:
+    def test_suspicious_source_sees_pre_attack_path(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        topo = net.topo
+        baseline = trace(topo, sim, "bot0", "victim")
+        add_bot_flood(net, fluid)
+        sim.run(until=6.0)
+        assert defense.mitigation_active()
+        # Forwarding state for the bots changed (suspicious flows were
+        # steered), but the traceroute view must not.
+        during = trace(topo, sim, "bot0", "victim")
+        assert during.path == baseline.path
+        forged = sum(p.replies_forged
+                     for p in defense.obfuscation.programs.values())
+        assert forged > 0
+
+    def test_rerouted_pair_would_be_visible_without_obfuscation(
+            self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        topo = net.topo
+        add_bot_flood(net, fluid)  # flood pinned through s1
+        sim.run(until=6.0)
+        # Disable the obfuscator by force: suspicious sources list off.
+        defense.obfuscation.obfuscate_all_sources = False
+        defense.obfuscation.suspicious_sources = set()
+        during = trace(topo, sim, "bot0", "decoy0")
+        # Unprotected, the traceroute reveals the flow's *actual* steered
+        # path — which is no longer the flooded s1 path the attacker
+        # pinned, so the attacker would notice and roll.
+        flow = next(f for f in fluid.flows.malicious()
+                    if f.src == "bot0" and f.dst == "decoy0")
+        actual_hops = [n for n in flow.path.nodes
+                       if n in topo.switch_names] + ["decoy0"]
+        assert during.path == actual_hops
+        assert "s1" not in during.path
+
+    def test_normal_sources_get_true_replies(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        topo = net.topo
+        add_bot_flood(net, fluid)
+        sim.run(until=6.0)
+        result = trace(topo, sim, "client0", "victim")
+        # client0's flow is pinned on its TE path; traceroute shows the
+        # real hops for non-suspicious sources.
+        expected = [n for n in flows.normal()[0].path.nodes
+                    if n in topo.switch_names] + ["victim"]
+        assert result.path == expected or result.reached
+
+    def test_obfuscate_all_mode(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        defense.obfuscation.obfuscate_all_sources = True
+        # Activate mitigation manually; no attack needed.
+        deployment.agent("sL").initiate("lfa", "lfa_mitigate")
+        sim.run(until=sim.now + 0.5)
+        # Pin client0's pair somewhere else to create a visible diff.
+        detour = Path.of(["client0", "sL", "s5", "s6", "sR", "victim"])
+        install_flow_route(net.topo, detour)
+        result = trace(net.topo, sim, "client0", "victim")
+        claimed = default_path_for(net.topo, "client0", "victim")
+        expected = [n for n in claimed.nodes
+                    if n in net.topo.switch_names] + ["victim"]
+        assert result.path == expected
+
+    def test_claimed_path_cached_and_static(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        first = defense.obfuscation.claimed_path("bot0", "victim")
+        # Even if forwarding changes, the claim must stay frozen.
+        detour = Path.of(["bot0", "sL", "s3", "s4", "sR", "victim"])
+        install_flow_route(net.topo, detour)
+        second = defense.obfuscation.claimed_path("bot0", "victim")
+        assert first.nodes == second.nodes
+
+    def test_unknown_pair_returns_none(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        assert defense.obfuscation.claimed_path("ghost", "victim") is None

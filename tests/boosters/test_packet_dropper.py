@@ -1,0 +1,87 @@
+"""Tests for the packet-dropping / policing booster."""
+
+import pytest
+
+from repro.boosters import PacketDropperBooster, PacketDropperProgram
+from repro.netsim import FlowKey, Packet
+from tests.boosters.test_lfa_detector import (add_bot_flood,
+                                              attacked_deployment)
+
+
+class TestPacketPath:
+    def test_blocklisted_flow_dropped(self, fig2, sim):
+        program = PacketDropperProgram("dropper", "drop")
+        fig2.topo.switch("sL").install_program(program)
+        key = FlowKey("bot0", "decoy0", sport=0, dport=80)
+        program.block(key)
+        pkt = Packet(src="bot0", dst="decoy0", dport=80)
+        fig2.topo.host("bot0").originate(pkt)
+        sim.run()
+        assert pkt.dropped == "suspicious_flow"
+        assert program.packets_dropped == 1
+        assert fig2.topo.host("decoy0").received_count() == 0
+
+    def test_unlisted_flow_passes(self, fig2, sim):
+        program = PacketDropperProgram("dropper", "drop")
+        fig2.topo.switch("sL").install_program(program)
+        pkt = Packet(src="client0", dst="victim", dport=80)
+        fig2.topo.host("client0").originate(pkt)
+        sim.run()
+        assert fig2.topo.host("victim").received_count() == 1
+
+    def test_state_roundtrip(self):
+        program = PacketDropperProgram("dropper", "drop")
+        program.block("flow_x")
+        clone = PacketDropperProgram("dropper", "drop")
+        clone.import_state(program.export_state())
+        assert "flow_x" in clone.blocklist
+
+
+class TestFluidPolicing:
+    def test_suspicious_flows_policed_to_trickle(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        add_bot_flood(net, fluid)
+        sim.run(until=6.0)
+        assert defense.dropper.flows_policed == len(net.bot_hosts)
+        for flow in fluid.flows.malicious():
+            assert flow.police_rate_bps is not None
+            assert flow.police_rate_bps == pytest.approx(
+                0.1 * flow.demand_bps)
+            # The attacker sees its throughput collapse: the illusion of
+            # success.
+            assert flow.goodput_bps <= flow.police_rate_bps * 1.05
+
+    def test_normal_flows_never_policed(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        add_bot_flood(net, fluid)
+        sim.run(until=6.0)
+        assert all(f.police_rate_bps is None for f in fluid.flows.normal())
+
+    def test_policing_lifted_when_mode_ends(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid, detector_kwargs={"clear_sustain_s": 0.5})
+        add_bot_flood(net, fluid)
+        sim.run(until=5.0)
+        now = sim.now
+        for flow in fluid.flows.malicious():
+            flow.end_time = now
+        sim.run(until=10.0)
+        assert all(f.police_rate_bps is None for f in fluid.flows)
+        # The packet-path blocklists were reset too.
+        for program in defense.dropper.programs.values():
+            assert program.blocklist.inserted == 0
+
+    def test_blocklists_mirror_policing(self, fig2_fluid, sim):
+        net, fluid, flows, defense, deployment = attacked_deployment(
+            fig2_fluid)
+        add_bot_flood(net, fluid)
+        sim.run(until=6.0)
+        some_program = next(iter(defense.dropper.programs.values()))
+        for flow in fluid.flows.malicious():
+            assert flow.key in some_program.blocklist
+
+    def test_keep_fraction_validated(self):
+        with pytest.raises(ValueError):
+            PacketDropperBooster(keep_fraction=1.5)

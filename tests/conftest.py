@@ -1,0 +1,36 @@
+"""Shared fixtures for the FastFlex reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import (FlowSet, FluidNetwork, GBPS, Simulator,
+                          figure2_topology, install_fast_reroute_alternates,
+                          install_host_routes, install_switch_routes,
+                          make_flow)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def fig2(sim):
+    """The paper's Figure 2 network with routes installed."""
+    net = figure2_topology(sim)
+    install_host_routes(net.topo)
+    install_switch_routes(net.topo)
+    install_fast_reroute_alternates(net.topo)
+    return net
+
+
+@pytest.fixture
+def fig2_fluid(fig2):
+    """Figure 2 network plus a fluid model with the client workload."""
+    flows = FlowSet()
+    for index, client in enumerate(fig2.client_hosts):
+        flows.add(make_flow(client, fig2.victim, 1.5 * GBPS,
+                            sport=40000 + index))
+    fluid = FluidNetwork(fig2.topo, flows)
+    return fig2, fluid, flows

@@ -1,0 +1,141 @@
+"""Tests for the FastFlex controller and GatedProgram wiring."""
+
+import pytest
+
+from repro.boosters import build_figure2_defense
+from repro.core import Booster, BoosterRegistry, GatedProgram
+from repro.dataplane import ResourceVector
+from repro.netsim import FlowSet, FluidNetwork, GBPS, make_flow
+
+
+class TestSetup:
+    def make_deployment(self, fig2):
+        flows = FlowSet()
+        for index, client in enumerate(fig2.client_hosts):
+            flows.add(make_flow(client, fig2.victim, 1.5 * GBPS,
+                                sport=50_000 + index))
+        fluid = FluidNetwork(fig2.topo, flows)
+        defense = build_figure2_defense(fig2, fluid)
+        deployment = defense.setup(flows)
+        return defense, deployment, flows
+
+    def test_te_assigns_every_flow(self, fig2):
+        defense, deployment, flows = self.make_deployment(fig2)
+        assert all(f.path is not None for f in flows)
+        assert deployment.te.max_utilization <= 1.0
+
+    def test_mode_agents_on_every_switch(self, fig2):
+        defense, deployment, flows = self.make_deployment(fig2)
+        assert set(deployment.mode_agents) == set(fig2.topo.switch_names)
+        for name in fig2.topo.switch_names:
+            assert fig2.topo.switch(name).has_program("fastflex.mode_agent")
+
+    def test_placement_instantiated_on_switches(self, fig2):
+        defense, deployment, flows = self.make_deployment(fig2)
+        for switch_name, specs in deployment.placement.assignments.items():
+            switch = fig2.topo.switch(switch_name)
+            for spec in specs:
+                if spec.factory is not None:
+                    assert switch.has_program(spec.qualified_name), (
+                        f"{spec.qualified_name} missing on {switch_name}")
+
+    def test_composite_mode_registered(self, fig2):
+        defense, deployment, flows = self.make_deployment(fig2)
+        spec = deployment.mode_registry.get("lfa", "lfa_mitigate")
+        assert spec.boosters_on == frozenset({"reroute", "dropper",
+                                              "obfuscation"})
+
+    def test_detector_is_always_on(self, fig2):
+        defense, deployment, flows = self.make_deployment(fig2)
+        assert "lfa_detector" in deployment.mode_registry.always_on
+        agent = deployment.agent("sL")
+        assert agent.mode_table.booster_enabled("lfa_detector")
+        assert not agent.mode_table.booster_enabled("reroute")
+
+    def test_state_service_and_scaling_available(self, fig2):
+        defense, deployment, flows = self.make_deployment(fig2)
+        assert deployment.state_service is not None
+        assert deployment.scaling is not None
+        assert fig2.topo.switch("s3").has_program("fastflex.state_agent")
+
+    def test_unknown_agent_lookup_raises(self, fig2):
+        defense, deployment, flows = self.make_deployment(fig2)
+        with pytest.raises(KeyError):
+            deployment.agent("ghost")
+
+
+class TestBoosterRegistry:
+    class Dummy(Booster):
+        name = "dummy"
+
+        def dataflow(self):
+            from repro.core import DataflowGraph
+            return DataflowGraph(self.name)
+
+    def test_register_and_get(self):
+        registry = BoosterRegistry()
+        booster = registry.register(self.Dummy())
+        assert registry.get("dummy") is booster
+        assert "dummy" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = BoosterRegistry()
+        registry.register(self.Dummy())
+        with pytest.raises(ValueError):
+            registry.register(self.Dummy())
+
+    def test_nameless_rejected(self):
+        registry = BoosterRegistry()
+        nameless = self.Dummy()
+        nameless.name = ""
+        with pytest.raises(ValueError):
+            registry.register(nameless)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            BoosterRegistry().get("ghost")
+
+
+class TestGatedProgram:
+    class Gate(GatedProgram):
+        def __init__(self):
+            super().__init__("some_booster", "gate",
+                             ResourceVector.zero())
+            self.hits = 0
+
+        def process_enabled(self, switch, packet):
+            self.hits += 1
+            return None
+
+    def test_enabled_without_mode_agent(self, fig2, sim):
+        from repro.netsim import Packet
+        gate = self.Gate()
+        fig2.topo.switch("sL").install_program(gate)
+        fig2.topo.host("client0").originate(
+            Packet(src="client0", dst="victim"))
+        sim.run()
+        assert gate.hits == 1
+
+    def test_gated_by_mode_table(self, fig2, sim):
+        from repro.core import (ModeEventBus, ModeRegistry, ModeSpec,
+                                install_mode_agents)
+        from repro.netsim import Packet
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("on_mode", "x",
+                                      boosters_on=("some_booster",)))
+        agents = install_mode_agents(fig2.topo, registry)
+        gate = self.Gate()
+        fig2.topo.switch("sL").install_program(gate)
+
+        fig2.topo.host("client0").originate(
+            Packet(src="client0", dst="victim"))
+        sim.run()
+        assert gate.hits == 0  # default mode: booster off
+
+        agents["sL"].initiate("x", "on_mode")
+        sim.run(until=sim.now + 0.5)
+        fig2.topo.host("client0").originate(
+            Packet(src="client0", dst="victim"))
+        sim.run(until=sim.now + 0.5)
+        assert gate.hits == 1

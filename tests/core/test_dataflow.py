@@ -1,0 +1,123 @@
+"""Tests for booster dataflow graphs."""
+
+import pytest
+
+from repro.core import DataflowGraph, PpmKind, PpmRole, PpmSpec
+from repro.dataplane import ResourceVector
+
+
+def make_spec(name, booster="b", stages=1):
+    return PpmSpec(name=name, kind=PpmKind.LOGIC, role=PpmRole.DETECTION,
+                   requirement=ResourceVector(stages=stages),
+                   booster=booster)
+
+
+def chain_graph():
+    graph = DataflowGraph("g")
+    for name in ("parser", "table", "logic"):
+        graph.add_ppm(make_spec(name))
+    graph.add_edge("parser", "table", weight=16)
+    graph.add_edge("table", "logic", weight=64)
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_ppm_rejected(self):
+        graph = DataflowGraph("g")
+        graph.add_ppm(make_spec("x"))
+        with pytest.raises(ValueError):
+            graph.add_ppm(make_spec("x"))
+
+    def test_self_edge_rejected(self):
+        graph = DataflowGraph("g")
+        graph.add_ppm(make_spec("x"))
+        with pytest.raises(ValueError):
+            graph.add_edge("x", "x")
+
+    def test_negative_weight_rejected(self):
+        graph = chain_graph()
+        with pytest.raises(ValueError):
+            graph.add_edge("parser", "logic", weight=-1)
+
+    def test_short_name_resolution(self):
+        graph = chain_graph()
+        assert graph.ppm("parser").qualified_name == "b.parser"
+        assert "parser" in graph
+        assert "ghost" not in graph
+
+    def test_ambiguous_short_name_raises(self):
+        graph = DataflowGraph("g")
+        graph.add_ppm(make_spec("x", booster="one"))
+        graph.add_ppm(make_spec("x", booster="two"))
+        with pytest.raises(KeyError):
+            graph.ppm("x")
+        assert graph.ppm("one.x").booster == "one"
+
+
+class TestQueries:
+    def test_successors_predecessors(self):
+        graph = chain_graph()
+        assert graph.successors("parser") == ["b.table"]
+        assert graph.predecessors("logic") == ["b.table"]
+
+    def test_edge_lookup(self):
+        graph = chain_graph()
+        assert graph.edge("parser", "table").weight == 16
+        assert graph.edge("logic", "parser") is None
+
+    def test_total_requirement(self):
+        graph = chain_graph()
+        assert graph.total_requirement().stages == 3
+
+    def test_topological_order_respects_edges(self):
+        graph = chain_graph()
+        order = graph.topological_order()
+        assert order.index("b.parser") < order.index("b.table") \
+            < order.index("b.logic")
+
+    def test_cycle_detected(self):
+        graph = chain_graph()
+        graph.add_edge("logic", "parser", weight=1)
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+
+class TestClustering:
+    def heavy_light_graph(self):
+        graph = DataflowGraph("g")
+        for name in ("a", "b", "c", "d"):
+            graph.add_ppm(make_spec(name))
+        graph.add_edge("a", "b", weight=100)   # heavy: a-b together
+        graph.add_edge("b", "c", weight=1)     # light: cut here
+        graph.add_edge("c", "d", weight=100)   # heavy: c-d together
+        return graph
+
+    def test_clusters_split_on_light_edges(self):
+        graph = self.heavy_light_graph()
+        clusters = graph.clusters(weight_threshold=50)
+        assert {frozenset(c) for c in clusters} == {
+            frozenset({"b.a", "b.b"}), frozenset({"b.c", "b.d"})}
+
+    def test_low_threshold_merges_everything(self):
+        graph = self.heavy_light_graph()
+        assert len(graph.clusters(weight_threshold=0.5)) == 1
+
+    def test_cut_weight_counts_crossing_edges(self):
+        graph = self.heavy_light_graph()
+        partition = [{"b.a", "b.b"}, {"b.c", "b.d"}]
+        assert graph.cut_weight(partition) == 1
+
+    def test_cut_weight_validates_partition(self):
+        graph = self.heavy_light_graph()
+        with pytest.raises(ValueError):
+            graph.cut_weight([{"b.a"}])  # misses PPMs
+        with pytest.raises(ValueError):
+            graph.cut_weight([{"b.a", "b.b", "b.c", "b.d"}, {"b.a"}])
+
+    def test_heavy_clusters_minimize_cut(self):
+        # The clustering the paper asks for: keeping heavy edges internal
+        # costs less header-carrying than any split through them.
+        graph = self.heavy_light_graph()
+        good = graph.cut_weight([{"b.a", "b.b"}, {"b.c", "b.d"}])
+        bad = graph.cut_weight([{"b.a"}, {"b.b", "b.c", "b.d"}])
+        assert good < bad

@@ -1,0 +1,108 @@
+"""Tests for PPM functional-equivalence detection."""
+
+import pytest
+
+from repro.boosters import flow_table_ppm, parser_ppm, sketch_ppm
+from repro.core import (EquivalenceClasses, PpmKind, equivalent,
+                        merge_parsers, parser_covers)
+
+
+class TestEquivalent:
+    def test_same_function_different_authors(self):
+        # Two boosters wrote "the same sketch" with different names and
+        # different internal style: FastFlex must recognize them.
+        a = sketch_ppm("heavy_hitter", "byteCounter", width=1024, depth=4,
+                       coding_style="tofino_macros")
+        b = sketch_ppm("ddos_guard", "pkt_count_sketch", width=1024,
+                       depth=4, coding_style="handwritten")
+        assert equivalent(a, b)
+
+    def test_different_parameters_not_equivalent(self):
+        a = sketch_ppm("x", "s", width=1024, depth=4)
+        b = sketch_ppm("y", "s", width=2048, depth=4)
+        assert not equivalent(a, b)
+
+    def test_different_kinds_not_equivalent(self):
+        a = sketch_ppm("x", "s", width=1024)
+        b = flow_table_ppm("y", "s", capacity=1024)
+        assert not equivalent(a, b)
+
+    def test_flow_tables_compare_key_fields(self):
+        five = flow_table_ppm("x", "t", capacity=1024,
+                              key_fields=("src", "dst"))
+        five_again = flow_table_ppm("y", "conn", capacity=1024,
+                                    key_fields=("dst", "src"))
+        per_src = flow_table_ppm("z", "t", capacity=1024,
+                                 key_fields=("src",))
+        assert equivalent(five, five_again)
+        assert not equivalent(five, per_src)
+
+
+class TestParsers:
+    def test_exact_field_equality(self):
+        a = parser_ppm("x", "p", base=("src", "dst"))
+        b = parser_ppm("y", "q", base=("dst", "src"))
+        assert equivalent(a, b)
+
+    def test_parser_covers_subset(self):
+        big = parser_ppm("x", "p", base=("src", "dst", "ttl"))
+        small = parser_ppm("y", "q", base=("src",))
+        assert parser_covers(big, small)
+        assert not parser_covers(small, big)
+
+    def test_covers_requires_parsers(self):
+        sketch = sketch_ppm("x", "s")
+        parser = parser_ppm("y", "p", base=("src",))
+        assert not parser_covers(sketch, parser)
+
+    def test_merge_parsers_union(self):
+        a = parser_ppm("x", "p", base=("src",), custom=("epoch",))
+        b = parser_ppm("y", "q", base=("dst",))
+        merged = merge_parsers([a, b])
+        assert set(merged.params["base_fields"]) == {"src", "dst"}
+        assert set(merged.params["custom_fields"]) == {"epoch"}
+        assert merged.booster == "shared"
+
+    def test_merge_requires_parsers(self):
+        with pytest.raises(ValueError):
+            merge_parsers([sketch_ppm("x", "s")])
+        with pytest.raises(ValueError):
+            merge_parsers([])
+
+
+class TestPartition:
+    def test_groups_by_signature(self):
+        specs = [
+            sketch_ppm("a", "s1", width=64, depth=2),
+            sketch_ppm("b", "s2", width=64, depth=2),
+            sketch_ppm("c", "s3", width=128, depth=2),
+        ]
+        classes = EquivalenceClasses.partition(specs)
+        assert len(classes) == 2
+        shared = classes.shareable()
+        assert len(shared) == 1
+        assert {s.booster for s in shared[0]} == {"a", "b"}
+
+    def test_savings_counts_duplicates_only(self):
+        specs = [
+            sketch_ppm("a", "s", width=64, depth=2),
+            sketch_ppm("b", "s", width=64, depth=2),
+            sketch_ppm("c", "s", width=64, depth=2),
+        ]
+        classes = EquivalenceClasses.partition(specs)
+        savings = classes.savings()
+        single = specs[0].requirement
+        assert savings.stages == pytest.approx(2 * single.stages)
+
+    def test_no_duplicates_no_savings(self):
+        specs = [sketch_ppm("a", "s", width=64),
+                 sketch_ppm("b", "s", width=128)]
+        classes = EquivalenceClasses.partition(specs)
+        assert classes.shareable() == []
+        assert classes.savings().stages == 0
+
+    def test_representative_is_first_seen(self):
+        first = sketch_ppm("a", "s", width=64)
+        second = sketch_ppm("b", "s", width=64)
+        classes = EquivalenceClasses.partition([first, second])
+        assert classes.representative(first.signature()) is first

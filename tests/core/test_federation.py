@@ -1,0 +1,173 @@
+"""Tests for cross-domain federation (§6)."""
+
+import pytest
+
+from repro.core.federation import (FederationPeer, ThreatAdvisory,
+                                   apply_watchlist, hash_source)
+from repro.netsim import (FlowSet, FluidNetwork, Path, Simulator,
+                          figure2_topology, make_flow)
+
+
+@pytest.fixture
+def pair(sim):
+    a = FederationPeer("domain_a", sim)
+    b = FederationPeer("domain_b", sim)
+    a.connect(b)
+    return a, b
+
+
+class TestAdvisories:
+    def test_trusted_advisory_populates_watchlist(self, pair, sim):
+        a, b = pair
+        a.publish("lfa", ["bot0", "bot1"], evidence=5)
+        sim.run()
+        assert len(b.advisories_accepted) == 1
+        assert b.is_watched("bot0") is not None
+        assert b.is_watched("client0") is None
+
+    def test_delivery_takes_inter_domain_delay(self, pair, sim):
+        a, b = pair
+        a.inter_domain_delay_s = 0.2
+        a.publish("lfa", ["bot0"], evidence=5)
+        sim.run(until=0.1)
+        assert b.is_watched("bot0") is None
+        sim.run(until=0.3)
+        assert b.is_watched("bot0") is not None
+
+    def test_untrusted_origin_rejected(self, sim):
+        a = FederationPeer("domain_a", sim)
+        b = FederationPeer("domain_b", sim)
+        a.connect(b, mutual_trust=False)
+        a.publish("lfa", ["bot0"], evidence=5)
+        sim.run()
+        assert b.advisories_accepted == []
+        assert b.advisories_rejected[0][1] == "untrusted_origin"
+        assert b.is_watched("bot0") is None
+
+    def test_trust_revocation(self, pair, sim):
+        a, b = pair
+        b.revoke_trust("domain_a")
+        a.publish("lfa", ["bot0"], evidence=5)
+        sim.run()
+        assert b.is_watched("bot0") is None
+
+    def test_insufficient_evidence_rejected(self, pair, sim):
+        a, b = pair
+        b.min_evidence = 3
+        a.publish("lfa", ["bot0"], evidence=1)
+        sim.run()
+        assert b.advisories_rejected[0][1] == "insufficient_evidence"
+
+    def test_advisories_carry_hashes_not_addresses(self, pair, sim):
+        a, b = pair
+        advisory = a.publish("lfa", ["bot0"], evidence=5)
+        # Privacy: no raw source identifier appears in the advisory.
+        assert "bot0" not in repr(advisory.source_hashes)
+        assert advisory.source_hashes == (hash_source("bot0"),)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            FederationPeer("x", sim, inter_domain_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            FederationPeer("x", sim, min_evidence=0)
+
+
+class TestWatchlistLifecycle:
+    def test_entries_expire(self, pair, sim):
+        a, b = pair
+        b.watch_ttl_s = 1.0
+        a.publish("lfa", ["bot0"], evidence=5)
+        sim.run()
+        assert b.is_watched("bot0") is not None
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert b.is_watched("bot0") is None
+
+    def test_expire_stale_sweeps(self, pair, sim):
+        a, b = pair
+        b.watch_ttl_s = 0.5
+        a.publish("lfa", ["bot0", "bot1"], evidence=5)
+        sim.run()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert b.expire_stale() == 2
+        assert b.watchlist == {}
+
+    def test_newer_advisory_extends_expiry(self, pair, sim):
+        a, b = pair
+        b.watch_ttl_s = 1.0
+        a.publish("lfa", ["bot0"], evidence=5)
+        sim.run()
+        first = b.watchlist[hash_source("bot0")].expires_at
+        sim.schedule(0.5, a.publish, "lfa", ["bot0"], 5)
+        sim.run()
+        assert b.watchlist[hash_source("bot0")].expires_at > first
+
+
+class TestDefenseIntegration:
+    def test_watchlist_marks_matching_flows(self, pair, sim):
+        a, b = pair
+        net = figure2_topology(sim)
+        flows = FlowSet()
+        attack = flows.add(make_flow(
+            "bot0", "decoy0", 1e9, malicious=True,
+            path=Path.of(["bot0", "sL", "s1", "sR", "decoy0"])))
+        benign = flows.add(make_flow(
+            "client0", "victim", 1e9,
+            path=Path.of(["client0", "sL", "s1", "sR", "victim"])))
+        fluid = FluidNetwork(net.topo, flows)
+
+        a.publish("lfa", ["bot0"], evidence=5)
+        sim.run()
+        marked = apply_watchlist(b, fluid)
+        assert marked == 1
+        assert attack.suspicious and attack.suspicion_score >= 0.8
+        assert not benign.suspicious
+
+    def test_apply_is_idempotent(self, pair, sim):
+        a, b = pair
+        net = figure2_topology(sim)
+        flows = FlowSet()
+        flows.add(make_flow("bot0", "decoy0", 1e9, malicious=True,
+                            path=Path.of(["bot0", "sL", "s1", "sR",
+                                          "decoy0"])))
+        fluid = FluidNetwork(net.topo, flows)
+        a.publish("lfa", ["bot0"], evidence=5)
+        sim.run()
+        assert apply_watchlist(b, fluid) == 1
+        assert apply_watchlist(b, fluid) == 0
+
+    def test_cross_domain_attack_mitigated_faster(self, sim):
+        """The collaborative scenario: the attack hits domain A first;
+        domain B, pre-armed by A's advisory, flags the same bots the
+        moment they show up — without waiting out its own thresholds."""
+        peer_a = FederationPeer("domain_a", sim)
+        peer_b = FederationPeer("domain_b", sim)
+        peer_a.connect(peer_b)
+
+        # Domain A confirms its attack at t=1 and publishes.
+        sim.schedule(1.0, peer_a.publish, "lfa",
+                     ["bot0", "bot1", "bot2"], 6)
+
+        # Domain B's network sees the same bots from t=2.
+        net_b = figure2_topology(sim)
+        flows_b = FlowSet()
+        for index in range(3):
+            flows_b.add(make_flow(
+                f"bot{index}", "decoy0", 2e9, malicious=True,
+                start_time=2.0, sport=index,
+                path=Path.of([f"bot{index}", "sL", "s1", "sR",
+                              "decoy0"])))
+        fluid_b = FluidNetwork(net_b.topo, flows_b)
+        marked_at = {}
+
+        def consult():
+            if apply_watchlist(peer_b, fluid_b) and not marked_at:
+                marked_at["t"] = sim.now
+
+        sim.every(0.05, consult)
+        sim.run(until=4.0)
+        # Flagged within one consultation period of the flows appearing,
+        # far faster than the local persistence threshold would allow.
+        assert marked_at["t"] == pytest.approx(2.05, abs=0.06)
+        assert all(f.suspicious for f in flows_b.malicious())

@@ -1,0 +1,153 @@
+"""Tests for the distributed mode-change protocol (§3.3)."""
+
+import pytest
+
+from repro.core import (DEFAULT_MODE, ModeEventBus, ModeRegistry, ModeSpec,
+                        StabilityGuard, install_mode_agents)
+from repro.netsim import Simulator, abilene_like, figure2_topology
+
+
+@pytest.fixture
+def deployment(sim):
+    net = figure2_topology(sim)
+    registry = ModeRegistry()
+    registry.register(ModeSpec.of("mitigate", "lfa", boosters_on=("m",)))
+    bus = ModeEventBus()
+    agents = install_mode_agents(net.topo, registry, bus=bus)
+    return net, registry, bus, agents
+
+
+class TestPropagation:
+    def test_change_reaches_every_switch(self, deployment, sim):
+        net, registry, bus, agents = deployment
+        assert agents["s1"].initiate("lfa", "mitigate")
+        sim.run(until=1.0)
+        for name, agent in agents.items():
+            assert agent.mode_table.mode_for("lfa") == "mitigate", name
+
+    def test_propagation_is_rtt_scale(self, deployment, sim):
+        net, registry, bus, agents = deployment
+        sim.schedule(1.0, agents["s1"].initiate, "lfa", "mitigate")
+        sim.run(until=2.0)
+        last = max(e.time for e in bus.events)
+        # Link delays are 1-2 ms; the farthest switch is a few hops away.
+        assert last - 1.0 < 0.02
+
+    def test_epoch_dedup_bounds_flooding(self, deployment, sim):
+        net, registry, bus, agents = deployment
+        agents["s1"].initiate("lfa", "mitigate")
+        # Observe before the first 0.5 s re-advertisement wave.
+        sim.run(until=0.4)
+        # Each switch applies the change exactly once.
+        assert all(agent.mode_table.changes_applied == 1
+                   for agent in agents.values())
+        total_probes = sum(agent.probes_sent for agent in agents.values())
+        # Flooding re-emits once per forwarding switch, not per receipt.
+        n_links = len(net.topo.duplex_pairs())
+        assert total_probes <= 2 * n_links + len(agents)
+
+    def test_readvertisement_repairs_lost_probes(self, deployment, sim):
+        """A switch cut off during the initial flood converges on the
+        next refresh wave — mode probes are loss-tolerant."""
+        net, registry, bus, agents = deployment
+        # Isolate s6 while the first flood happens.
+        for neighbor in list(net.topo.switch("s6").links):
+            net.topo.link(neighbor, "s6").set_down()
+        agents["s1"].initiate("lfa", "mitigate")
+        sim.run(until=0.3)
+        assert agents["s6"].mode_table.mode_for("lfa") == DEFAULT_MODE
+        # Links heal; the initiator's periodic refresh reaches s6.
+        for neighbor in list(net.topo.switch("s6").links):
+            net.topo.link(neighbor, "s6").set_up()
+        sim.run(until=2.0)
+        assert agents["s6"].mode_table.mode_for("lfa") == "mitigate"
+
+    def test_default_refresh_is_bounded(self, deployment, sim):
+        net, registry, bus, agents = deployment
+        agents["s1"].initiate("lfa", "mitigate")
+        sim.run(until=0.3)
+        agents["s1"].initiate("lfa", DEFAULT_MODE)
+        sim.run(until=10.0)
+        # The default-mode refresh stops after its bounded rounds.
+        assert "lfa" not in agents["s1"]._owned
+
+    def test_deactivation_propagates_too(self, deployment, sim):
+        net, registry, bus, agents = deployment
+        agents["s1"].initiate("lfa", "mitigate")
+        sim.run(until=0.5)
+        agents["s1"].initiate("lfa", DEFAULT_MODE)
+        sim.run(until=1.0)
+        assert all(agent.mode_table.mode_for("lfa") == DEFAULT_MODE
+                   for agent in agents.values())
+
+    def test_concurrent_initiators_converge(self, deployment, sim):
+        net, registry, bus, agents = deployment
+        sim.schedule(0.0, agents["s1"].initiate, "lfa", "mitigate")
+        sim.schedule(0.0, agents["s6"].initiate, "lfa", "mitigate")
+        sim.run(until=1.0)
+        modes = {agent.mode_table.mode_for("lfa")
+                 for agent in agents.values()}
+        assert modes == {"mitigate"}
+
+
+class TestScoping:
+    def test_scope_limits_radius(self, sim):
+        topo = abilene_like(sim)
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        agents = install_mode_agents(topo, registry)
+        agents["sw_seattle"].initiate("lfa", "mitigate", scope=2)
+        sim.run(until=1.0)
+        affected = {name for name, agent in agents.items()
+                    if agent.mode_table.mode_for("lfa") == "mitigate"}
+        assert "sw_seattle" in affected
+        assert "sw_sunnyvale" in affected  # 1 hop
+        assert "sw_washington" not in affected  # far coast
+        assert len(affected) < len(agents)
+
+    def test_network_wide_scope_covers_everything(self, sim):
+        topo = abilene_like(sim)
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        agents = install_mode_agents(topo, registry)
+        agents["sw_seattle"].initiate("lfa", "mitigate")
+        sim.run(until=1.0)
+        assert all(agent.mode_table.mode_for("lfa") == "mitigate"
+                   for agent in agents.values())
+
+
+class TestGuardIntegration:
+    def test_guard_suppresses_rapid_reinitiation(self, sim):
+        net = figure2_topology(sim)
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        guard = StabilityGuard(min_dwell_s=10.0)
+        agents = install_mode_agents(net.topo, registry,
+                                     guard_factory=lambda _: guard)
+        agent = agents["s1"]
+        assert agent.initiate("lfa", "mitigate")
+        sim.run(until=0.5)
+        assert not agent.initiate("lfa", DEFAULT_MODE)  # dwell not served
+        assert agent.changes_suppressed == 1
+
+    def test_uninstalled_agent_cannot_initiate(self):
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        from repro.core import ModeChangeAgent
+        agent = ModeChangeAgent(registry)
+        with pytest.raises(RuntimeError):
+            agent.initiate("lfa", "mitigate")
+
+
+class TestStateExport:
+    def test_epochs_survive_export_import(self, deployment, sim):
+        net, registry, bus, agents = deployment
+        agents["s1"].initiate("lfa", "mitigate")
+        sim.run(until=0.5)
+        state = agents["s2"].export_state()
+        from repro.core import ModeChangeAgent
+        fresh = ModeChangeAgent(registry)
+        fresh.import_state(state)
+        assert fresh.mode_table.mode_for("lfa") == "mitigate"
+        assert fresh.mode_table.epoch_for("lfa") == \
+            agents["s2"].mode_table.epoch_for("lfa")

@@ -1,0 +1,67 @@
+"""Tests for the PPM IR and signatures."""
+
+import pytest
+
+from repro.core import PpmKind, PpmRole, PpmSpec
+from repro.dataplane import ResourceVector
+
+
+def spec(name="m", booster="b", kind=PpmKind.SKETCH, params=None):
+    return PpmSpec(name=name, kind=kind, role=PpmRole.DETECTION,
+                   requirement=ResourceVector(stages=1),
+                   params=dict(params or {}), booster=booster)
+
+
+class TestSignature:
+    def test_same_params_same_signature(self):
+        a = spec(name="x", booster="one", params={"width": 64})
+        b = spec(name="y", booster="two", params={"width": 64})
+        assert a.signature() == b.signature()
+
+    def test_different_params_differ(self):
+        a = spec(params={"width": 64})
+        b = spec(params={"width": 128})
+        assert a.signature() != b.signature()
+
+    def test_implementation_detail_params_ignored(self):
+        # ``_``-prefixed keys describe how the author wrote the module,
+        # not what it computes — the [24]-style equivalence abstraction.
+        a = spec(params={"width": 64, "_var_names": "camelCase"})
+        b = spec(params={"width": 64, "_var_names": "snake_case"})
+        assert a.signature() == b.signature()
+
+    def test_kind_distinguishes(self):
+        a = spec(kind=PpmKind.SKETCH, params={"width": 64})
+        b = spec(kind=PpmKind.BLOOM, params={"width": 64})
+        assert a.signature() != b.signature()
+
+    def test_param_order_is_canonical(self):
+        a = spec(params={"width": 64, "depth": 4})
+        b = spec(params={"depth": 4, "width": 64})
+        assert a.signature() == b.signature()
+
+
+class TestLogicIdentity:
+    def test_anonymous_logic_never_shared(self):
+        a = spec(name="same", booster="one", kind=PpmKind.LOGIC)
+        b = spec(name="same", booster="two", kind=PpmKind.LOGIC)
+        assert a.signature() != b.signature()
+
+    def test_declared_logic_id_shares(self):
+        a = spec(name="impl_a", booster="one", kind=PpmKind.LOGIC,
+                 params={"logic_id": "threshold_check"})
+        b = spec(name="impl_b", booster="two", kind=PpmKind.LOGIC,
+                 params={"logic_id": "threshold_check"})
+        assert a.signature() == b.signature()
+
+
+class TestNaming:
+    def test_qualified_name_includes_booster(self):
+        assert spec(name="m", booster="lfa").qualified_name == "lfa.m"
+
+    def test_unqualified_without_booster(self):
+        assert spec(name="m", booster="").qualified_name == "m"
+
+    def test_signature_str_is_informative(self):
+        text = str(spec(params={"width": 64}).signature())
+        assert "sketch" in text and "64" in text

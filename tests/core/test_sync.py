@@ -1,0 +1,107 @@
+"""Tests for distributed detector synchronization (§3.3)."""
+
+import pytest
+
+from repro.core import DetectorSyncAgent
+
+
+def install_agents(fig2, switches, sources, sync_period_s=0.1, top_k=32):
+    agents = {}
+    for name in switches:
+        agent = DetectorSyncAgent(
+            source=sources[name],
+            peers=[s for s in switches if s != name],
+            sync_period_s=sync_period_s, top_k=top_k,
+            name=f"sync.{name}")
+        fig2.topo.switch(name).install_program(agent)
+        agents[name] = agent
+    return agents
+
+
+class TestDigestExchange:
+    def test_views_merge_by_sum(self, fig2, sim):
+        counters = {"sL": lambda: {"tenantA": 10.0},
+                    "sR": lambda: {"tenantA": 5.0, "tenantB": 2.0}}
+        agents = install_agents(fig2, ["sL", "sR"], counters)
+        sim.run(until=0.5)
+        view = agents["sL"].global_view()
+        assert view["tenantA"] == pytest.approx(15.0)
+        assert view["tenantB"] == pytest.approx(2.0)
+
+    def test_multi_hop_peers_reachable(self, fig2, sim):
+        # sL and s4 are not adjacent; digests must route through.
+        counters = {"sL": lambda: {"k": 1.0}, "s4": lambda: {"k": 2.0}}
+        agents = install_agents(fig2, ["sL", "s4"], counters)
+        sim.run(until=0.5)
+        assert agents["s4"].global_view()["k"] == pytest.approx(3.0)
+
+    def test_exchange_is_periodic(self, fig2, sim):
+        counters = {"sL": lambda: {"k": 1.0}, "sR": lambda: {"k": 1.0}}
+        agents = install_agents(fig2, ["sL", "sR"], counters,
+                                sync_period_s=0.1)
+        sim.run(until=1.05)
+        assert agents["sL"].stats.digests_sent == 10
+        assert agents["sL"].stats.digests_received == 10
+
+
+class TestGlobalDetection:
+    def test_exceeders_only_visible_globally(self, fig2, sim):
+        # Each locality sees 6; the global limit of 10 is only crossed
+        # when views combine — the [62] global rate limit scenario.
+        counters = {"sL": lambda: {"tenant": 6.0},
+                    "sR": lambda: {"tenant": 6.0}}
+        agents = install_agents(fig2, ["sL", "sR"], counters)
+        agent = agents["sL"]
+        assert agent.source()["tenant"] < 10.0
+        sim.run(until=0.5)
+        assert agent.global_exceeders(10.0) == {"tenant": 12.0}
+
+    def test_under_threshold_not_flagged(self, fig2, sim):
+        counters = {"sL": lambda: {"tenant": 3.0},
+                    "sR": lambda: {"tenant": 3.0}}
+        agents = install_agents(fig2, ["sL", "sR"], counters)
+        sim.run(until=0.5)
+        assert agents["sL"].global_exceeders(10.0) == {}
+
+
+class TestStaleness:
+    def test_stale_views_dropped(self, fig2, sim):
+        emitted = {"on": True}
+
+        def source_sr():
+            return {"k": 5.0} if emitted["on"] else {}
+
+        counters = {"sL": lambda: {"k": 1.0}, "sR": source_sr}
+        agents = install_agents(fig2, ["sL", "sR"], counters,
+                                sync_period_s=0.1)
+        sim.run(until=0.3)
+        assert agents["sL"].global_view()["k"] == pytest.approx(6.0)
+        # sR stops reporting; after the staleness bound only local counts
+        # remain. (Empty digests still arrive, overwriting the old view.)
+        emitted["on"] = False
+        sim.run(until=1.0)
+        assert agents["sL"].global_view()["k"] == pytest.approx(1.0)
+
+
+class TestOverheadControl:
+    def test_digest_truncated_to_top_k(self, fig2, sim):
+        big = {f"key{i}": float(i) for i in range(100)}
+        counters = {"sL": lambda: dict(big), "sR": lambda: {}}
+        agents = install_agents(fig2, ["sL", "sR"], counters, top_k=8)
+        sim.run(until=0.15)
+        assert agents["sL"].stats.entries_truncated > 0
+        remote = agents["sR"]._remote_views["sL"][1]
+        assert len(remote) == 8
+        assert "key99" in remote  # the heaviest entries survive
+
+    def test_bytes_accounting(self, fig2, sim):
+        counters = {"sL": lambda: {"k": 1.0}, "sR": lambda: {}}
+        agents = install_agents(fig2, ["sL", "sR"], counters)
+        sim.run(until=0.5)
+        assert agents["sL"].stats.bytes_sent > 0
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            DetectorSyncAgent(source=dict, peers=[], sync_period_s=0.0)
+        with pytest.raises(ValueError):
+            DetectorSyncAgent(source=dict, peers=[], top_k=0)

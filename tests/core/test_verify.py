@@ -1,0 +1,160 @@
+"""Tests for the §6 booster verifier."""
+
+import pytest
+
+from repro.boosters import (LfaDetectorBooster, logic_ppm, parser_ppm)
+from repro.core import Booster, DataflowGraph, ModeSpec, PpmRole
+from repro.core.verify import (BoosterVerifier, Severity,
+                               VerificationReport, verify_catalog)
+from repro.dataplane import ResourceVector
+from repro.experiments.figure1 import booster_suite
+
+
+class MadeUpBooster(Booster):
+    """Configurable test booster."""
+
+    def __init__(self, name="made_up", graph=None, modes=(),
+                 attack_types=("x",), always=False):
+        self.name = name
+        self.attack_types = tuple(attack_types)
+        self._graph = graph
+        self._modes = list(modes)
+        self._always = always
+
+    def dataflow(self):
+        if self._graph is None:
+            graph = DataflowGraph(self.name)
+            graph.add_ppm(parser_ppm(self.name, "parser", base=("src",)))
+            graph.add_ppm(logic_ppm(self.name, "detect",
+                                    PpmRole.DETECTION,
+                                    ResourceVector(stages=1)))
+            graph.add_ppm(logic_ppm(self.name, "act", PpmRole.MITIGATION,
+                                    ResourceVector(stages=1)))
+            graph.add_edge("parser", "detect", weight=1)
+            graph.add_edge("detect", "act", weight=1)
+            return graph
+        return self._graph
+
+    def modes(self):
+        return list(self._modes)
+
+    def always_on(self):
+        return self._always
+
+
+class TestPerBooster:
+    def test_well_formed_booster_is_clean(self):
+        report = BoosterVerifier().verify_booster(MadeUpBooster())
+        assert report.ok
+        # Planning-only logic modules draw a runtime warning, nothing else.
+        assert all(f.check == "runtime" for f in report.findings)
+
+    def test_real_catalog_verifies_without_errors(self):
+        report = verify_catalog(booster_suite(), n_switches=8)
+        assert report.ok, str(report)
+
+    def test_empty_dataflow_is_an_error(self):
+        booster = MadeUpBooster(graph=DataflowGraph("empty"))
+        report = BoosterVerifier().verify_booster(booster)
+        assert not report.ok
+        assert any(f.check == "dataflow" for f in report.errors)
+
+    def test_cycle_is_an_error(self):
+        graph = DataflowGraph("b")
+        graph.add_ppm(logic_ppm("b", "x", PpmRole.DETECTION,
+                                ResourceVector(stages=1)))
+        graph.add_ppm(logic_ppm("b", "y", PpmRole.MITIGATION,
+                                ResourceVector(stages=1)))
+        graph.add_edge("x", "y", weight=1)
+        graph.add_edge("y", "x", weight=1)
+        report = BoosterVerifier().verify_booster(
+            MadeUpBooster(name="b", graph=graph))
+        assert not report.ok
+
+    def test_unreachable_mitigation_warns(self):
+        graph = DataflowGraph("b")
+        graph.add_ppm(logic_ppm("b", "detect", PpmRole.DETECTION,
+                                ResourceVector(stages=1)))
+        graph.add_ppm(logic_ppm("b", "orphan", PpmRole.MITIGATION,
+                                ResourceVector(stages=1)))
+        report = BoosterVerifier().verify_booster(
+            MadeUpBooster(name="b", graph=graph))
+        assert report.ok  # warning, not error
+        assert any(f.check == "reachability" for f in report.warnings)
+
+    def test_oversized_module_is_an_error(self):
+        graph = DataflowGraph("b")
+        graph.add_ppm(logic_ppm("b", "huge", PpmRole.DETECTION,
+                                ResourceVector(stages=1000)))
+        report = BoosterVerifier().verify_booster(
+            MadeUpBooster(name="b", graph=graph))
+        assert any(f.check == "resources" for f in report.errors)
+
+    def test_negative_requirement_is_an_error(self):
+        graph = DataflowGraph("b")
+        graph.add_ppm(logic_ppm("b", "neg", PpmRole.DETECTION,
+                                ResourceVector(stages=-1)))
+        report = BoosterVerifier().verify_booster(
+            MadeUpBooster(name="b", graph=graph))
+        assert not report.ok
+
+    def test_defining_default_mode_is_an_error(self):
+        booster = MadeUpBooster(
+            modes=[ModeSpec.of("legit", "x", ("made_up",))])
+        clean = BoosterVerifier().verify_booster(booster)
+        assert clean.ok
+        # ModeSpec.of refuses "default" at registration; simulate a
+        # hand-rolled spec.
+        from repro.core.modes import ModeSpec as RawSpec
+        bad = MadeUpBooster(modes=[RawSpec("default", "x",
+                                           frozenset({"made_up"}))])
+        report = BoosterVerifier().verify_booster(bad)
+        assert any(f.check == "modes" for f in report.errors)
+
+    def test_raising_dataflow_reported(self):
+        class Exploding(MadeUpBooster):
+            def dataflow(self):
+                raise RuntimeError("boom")
+
+        report = BoosterVerifier().verify_booster(Exploding())
+        assert not report.ok
+
+
+class TestComposition:
+    def test_duplicate_names_rejected(self):
+        report = BoosterVerifier().verify_composition(
+            [MadeUpBooster(), MadeUpBooster()])
+        assert any(f.check == "composition" for f in report.errors)
+
+    def test_duplicate_mode_across_boosters_rejected(self):
+        a = MadeUpBooster(name="a",
+                          modes=[ModeSpec.of("m", "x", ("a",))])
+        b = MadeUpBooster(name="b",
+                          modes=[ModeSpec.of("m", "x", ("b",))])
+        report = BoosterVerifier().verify_composition([a, b])
+        assert not report.ok
+
+    def test_mode_gating_unknown_booster_rejected(self):
+        a = MadeUpBooster(name="a",
+                          modes=[ModeSpec.of("m", "x", ("ghost",))])
+        report = BoosterVerifier().verify_composition([a])
+        assert not report.ok
+
+    def test_submodule_gates_resolve_to_owner(self):
+        # heavy_hitter.filter gates a sub-program; the owner exists.
+        from repro.boosters import HeavyHitterBooster
+        report = BoosterVerifier().verify_composition(
+            [HeavyHitterBooster()])
+        assert report.ok, str(report)
+
+    def test_capacity_warning_when_catalog_too_big(self):
+        report = BoosterVerifier().verify_composition(booster_suite(),
+                                                      n_switches=1)
+        assert report.ok  # warnings only
+        assert any(f.check == "capacity" for f in report.warnings)
+
+    def test_report_formatting(self):
+        report = VerificationReport()
+        assert str(report) == "verification clean"
+        report.add(Severity.WARNING, "b", "x", "msg")
+        assert "warning" in str(report)

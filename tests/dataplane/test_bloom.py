@@ -1,0 +1,83 @@
+"""Tests for the bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane import BloomFilter
+
+
+class TestBasics:
+    def test_added_keys_are_members(self):
+        bloom = BloomFilter("b", size_bits=1024, n_hashes=3)
+        bloom.add("key")
+        assert "key" in bloom
+
+    def test_fresh_filter_is_empty(self):
+        bloom = BloomFilter("b")
+        assert "anything" not in bloom
+        assert bloom.expected_fp_rate() == 0.0
+
+    def test_clear(self):
+        bloom = BloomFilter("b", size_bits=256)
+        bloom.add("x")
+        bloom.clear()
+        assert "x" not in bloom
+        assert bloom.inserted == 0
+
+    def test_invalid_hash_count(self):
+        with pytest.raises(ValueError):
+            BloomFilter("b", n_hashes=0)
+
+
+class TestNoFalseNegatives:
+    @settings(max_examples=25, deadline=None)
+    @given(keys=st.lists(st.text(max_size=12), max_size=100))
+    def test_every_inserted_key_found(self, keys):
+        bloom = BloomFilter("b", size_bits=4096, n_hashes=4)
+        for key in keys:
+            bloom.add(key)
+        for key in keys:
+            assert key in bloom
+
+
+class TestFalsePositiveRate:
+    def test_fp_rate_near_design_target(self):
+        bloom = BloomFilter.for_capacity("b", capacity=500, fp_rate=0.02)
+        for i in range(500):
+            bloom.add(f"member{i}")
+        false_positives = sum(
+            1 for i in range(5000) if f"outsider{i}" in bloom)
+        measured = false_positives / 5000
+        assert measured < 0.06  # 3x the design target as slack
+
+    def test_expected_fp_rate_monotone_in_fill(self):
+        bloom = BloomFilter("b", size_bits=512, n_hashes=3)
+        rates = []
+        for i in range(50):
+            bloom.add(i)
+            rates.append(bloom.expected_fp_rate())
+        assert rates == sorted(rates)
+
+
+class TestSizing:
+    def test_for_capacity_validates(self):
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity("b", 0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity("b", 10, fp_rate=1.5)
+
+    def test_lower_fp_rate_needs_more_bits(self):
+        loose = BloomFilter.for_capacity("b", 1000, fp_rate=0.1)
+        tight = BloomFilter.for_capacity("b", 1000, fp_rate=0.001)
+        assert tight.size_bits > loose.size_bits
+
+
+class TestStateTransfer:
+    def test_roundtrip_preserves_membership(self):
+        bloom = BloomFilter("b", size_bits=512, n_hashes=3)
+        for i in range(30):
+            bloom.add(i)
+        clone = BloomFilter("b", size_bits=512, n_hashes=3)
+        clone.import_state(bloom.export_state())
+        assert all(i in clone for i in range(30))
+        assert clone.inserted == 30

@@ -1,0 +1,103 @@
+"""Tests for the XOR-parity FEC codec."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane import (FecDecoder, FecEncoder, FecSymbol,
+                             loss_survival_probability)
+
+words_strategy = st.lists(st.integers(0, 2**32 - 1), max_size=40)
+
+
+class TestEncoding:
+    def test_parity_is_group_xor(self):
+        encoder = FecEncoder(group_size=4)
+        symbols = encoder.encode([1, 2, 4, 8])
+        parity = [s for s in symbols if s.is_parity]
+        assert len(parity) == 1
+        assert parity[0].value == 1 ^ 2 ^ 4 ^ 8
+
+    def test_partial_group_gets_parity(self):
+        symbols = FecEncoder(group_size=4).encode([7, 9])
+        parity = [s for s in symbols if s.is_parity]
+        assert parity[0].value == 7 ^ 9
+
+    def test_negative_word_rejected(self):
+        with pytest.raises(ValueError):
+            FecEncoder().encode([-1])
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            FecEncoder(group_size=0)
+        with pytest.raises(ValueError):
+            FecDecoder(group_size=0)
+
+    def test_overhead_ratio(self):
+        encoder = FecEncoder(group_size=4)
+        assert encoder.overhead_ratio(8) == pytest.approx(0.25)
+        assert encoder.overhead_ratio(0) == 0.0
+
+
+class TestDecoding:
+    @settings(max_examples=40, deadline=None)
+    @given(words=words_strategy)
+    def test_lossless_roundtrip(self, words):
+        symbols = FecEncoder(group_size=4).encode(words)
+        decoded, recovered = FecDecoder(group_size=4).decode(
+            symbols, len(words))
+        assert decoded == list(words)
+        assert recovered == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(words=st.lists(st.integers(0, 2**32 - 1), min_size=1,
+                          max_size=40),
+           seed=st.integers(0, 10_000))
+    def test_any_single_loss_per_group_recovers(self, words, seed):
+        rng = random.Random(seed)
+        symbols = FecEncoder(group_size=4).encode(words)
+        # Drop exactly one random *data* symbol from one group.
+        data_symbols = [s for s in symbols if not s.is_parity]
+        victim = rng.choice(data_symbols)
+        kept = [s for s in symbols if s is not victim]
+        decoded, recovered = FecDecoder(group_size=4).decode(
+            kept, len(words))
+        assert decoded == list(words)
+        assert recovered == 1
+
+    def test_double_loss_in_group_unrecoverable(self):
+        words = [10, 20, 30, 40]
+        symbols = FecEncoder(group_size=4).encode(words)
+        kept = [s for s in symbols if not s.is_parity][2:]  # lose 2 data
+        decoded, recovered = FecDecoder(group_size=4).decode(kept, 4)
+        assert decoded[:2] == [None, None]
+        assert decoded[2:] == [30, 40]
+        assert recovered == 0
+
+    def test_lost_parity_alone_is_harmless(self):
+        words = [1, 2, 3]
+        symbols = [s for s in FecEncoder(group_size=4).encode(words)
+                   if not s.is_parity]
+        decoded, recovered = FecDecoder(group_size=4).decode(symbols, 3)
+        assert decoded == words
+
+
+class TestSurvivalModel:
+    def test_zero_loss_always_survives(self):
+        assert loss_survival_probability(0.0, 4) == 1.0
+
+    def test_total_loss_never_survives(self):
+        assert loss_survival_probability(1.0, 4) == pytest.approx(0.0)
+
+    def test_monotone_in_loss(self):
+        probs = [loss_survival_probability(p / 10, 4) for p in range(11)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_smaller_groups_survive_more(self):
+        assert loss_survival_probability(0.2, 2) > \
+            loss_survival_probability(0.2, 8)
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            loss_survival_probability(1.5, 4)

@@ -1,0 +1,127 @@
+"""Tests for the per-flow state table."""
+
+import pytest
+
+from repro.dataplane import FlowTable, TcpState
+
+
+class TestObservation:
+    def test_new_flow_gets_entry(self):
+        table = FlowTable("t")
+        entry = table.observe("flow1", now=1.0, size_bytes=100)
+        assert entry.packets == 1
+        assert entry.bytes == 100
+        assert entry.first_seen == 1.0
+
+    def test_counters_accumulate(self):
+        table = FlowTable("t")
+        table.observe("f", 1.0, size_bytes=100)
+        entry = table.observe("f", 2.0, size_bytes=200)
+        assert entry.packets == 2
+        assert entry.bytes == 300
+        assert entry.age == 1.0
+
+    def test_rate_ewma_tracks_throughput(self):
+        table = FlowTable("t", rate_ewma_alpha=1.0)
+        table.observe("f", 0.0, size_bytes=0)
+        entry = table.observe("f", 1.0, size_bytes=1250)  # 10 kbit in 1 s
+        assert entry.rate_bps == pytest.approx(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowTable("t", capacity=0)
+        with pytest.raises(ValueError):
+            FlowTable("t", rate_ewma_alpha=0.0)
+
+
+class TestTcpStateMachine:
+    def test_syn_then_ack_establishes(self):
+        table = FlowTable("t")
+        table.observe("f", 1.0, syn=True)
+        assert table.get("f").tcp_state == TcpState.SYN_SEEN
+        table.observe("f", 2.0, ack=True)
+        assert table.get("f").tcp_state == TcpState.ESTABLISHED
+
+    def test_fin_closes(self):
+        table = FlowTable("t")
+        table.observe("f", 1.0, syn=True)
+        table.observe("f", 2.0, ack=True)
+        table.observe("f", 3.0, fin=True)
+        assert table.get("f").tcp_state == TcpState.CLOSED
+
+    def test_rst_closes_from_any_state(self):
+        table = FlowTable("t")
+        table.observe("f", 1.0, rst=True)
+        assert table.get("f").tcp_state == TcpState.CLOSED
+
+    def test_plain_data_stays_new(self):
+        table = FlowTable("t")
+        table.observe("f", 1.0)
+        assert table.get("f").tcp_state == TcpState.NEW
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_touched(self):
+        table = FlowTable("t", capacity=2)
+        table.observe("a", 1.0)
+        table.observe("b", 2.0)
+        table.observe("a", 3.0)  # refresh a
+        table.observe("c", 4.0)  # evicts b
+        assert "a" in table and "c" in table and "b" not in table
+        assert table.evictions == 1
+
+    def test_expire_idle(self):
+        table = FlowTable("t")
+        table.observe("old", 1.0)
+        table.observe("fresh", 9.0)
+        removed = table.expire_idle(now=10.0, idle_timeout_s=5.0)
+        assert removed == 1
+        assert "fresh" in table and "old" not in table
+
+    def test_len_tracks_entries(self):
+        table = FlowTable("t", capacity=10)
+        for i in range(4):
+            table.observe(i, float(i))
+        assert len(table) == 4
+
+
+class TestLfaQuery:
+    def test_persistent_low_rate_selects_suspects(self):
+        table = FlowTable("t", rate_ewma_alpha=1.0)
+        # Long-lived, slow, established flow: the Crossfire signature.
+        table.observe("slow", 0.0, syn=True)
+        table.observe("slow", 0.5, ack=True, size_bytes=10)
+        table.observe("slow", 10.0, size_bytes=10)
+        # Fast flow: same age, high rate.
+        table.observe("fast", 0.0, syn=True)
+        table.observe("fast", 0.5, ack=True, size_bytes=10)
+        table.observe("fast", 10.0, size_bytes=10_000_000)
+        # Young flow: low rate but too new.
+        table.observe("young", 9.9, syn=True)
+        table.observe("young", 10.0, ack=True, size_bytes=10)
+
+        suspects = table.persistent_low_rate(min_age_s=5.0,
+                                             max_rate_bps=1e6)
+        keys = {entry.key for entry in suspects}
+        assert keys == {"slow"}
+
+    def test_closed_flows_not_suspicious(self):
+        table = FlowTable("t", rate_ewma_alpha=1.0)
+        table.observe("gone", 0.0, syn=True)
+        table.observe("gone", 10.0, fin=True, size_bytes=10)
+        assert table.persistent_low_rate(5.0, 1e9) == []
+
+
+class TestStateTransfer:
+    def test_roundtrip(self):
+        table = FlowTable("t")
+        table.observe("a", 1.0, size_bytes=10, syn=True)
+        table.observe("a", 2.0, size_bytes=20, ack=True)
+        table.observe("b", 3.0, size_bytes=30)
+        clone = FlowTable("t")
+        clone.import_state(table.export_state())
+        assert len(clone) == 2
+        entry = clone.get("a")
+        assert entry.packets == 2
+        assert entry.tcp_state == TcpState.ESTABLISHED
+        assert entry.bytes == 30

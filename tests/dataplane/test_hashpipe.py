@@ -1,0 +1,108 @@
+"""Tests for the HashPipe heavy-hitter structure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane import HashPipe
+
+
+class TestBasics:
+    def test_single_key_counted_exactly(self):
+        pipe = HashPipe("p", stages=3, slots_per_stage=8)
+        for _ in range(10):
+            pipe.update("k")
+        assert pipe.estimate("k") == 10
+
+    def test_unseen_key_estimates_zero(self):
+        pipe = HashPipe("p")
+        assert pipe.estimate("ghost") == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            HashPipe("p").update("k", -1)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            HashPipe("p", stages=0)
+        with pytest.raises(ValueError):
+            HashPipe("p", slots_per_stage=0)
+
+    def test_clear(self):
+        pipe = HashPipe("p", stages=2, slots_per_stage=4)
+        pipe.update("a", 5)
+        pipe.clear()
+        assert pipe.estimate("a") == 0
+        assert pipe.total == 0
+
+
+class TestHeavyHitters:
+    def test_dominant_key_survives_churn(self):
+        rng = random.Random(7)
+        pipe = HashPipe("p", stages=4, slots_per_stage=32)
+        for _ in range(2000):
+            pipe.update("elephant", 10)
+            pipe.update(f"mouse{rng.randrange(500)}", 1)
+        hitters = pipe.heavy_hitters(threshold=10_000)
+        assert "elephant" in hitters
+
+    def test_top_k_ordering(self):
+        pipe = HashPipe("p", stages=4, slots_per_stage=64)
+        pipe.update("big", 100)
+        pipe.update("mid", 50)
+        pipe.update("small", 1)
+        top = pipe.top_k(2)
+        assert [k for k, _ in top] == ["big", "mid"]
+
+    def test_threshold_filters(self):
+        pipe = HashPipe("p", stages=4, slots_per_stage=64)
+        pipe.update("a", 100)
+        pipe.update("b", 5)
+        assert "b" not in pipe.heavy_hitters(50)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_estimate_never_exceeds_truth(self, seed):
+        rng = random.Random(seed)
+        pipe = HashPipe("p", stages=3, slots_per_stage=16)
+        truth = {}
+        for _ in range(300):
+            key = rng.randrange(50)
+            pipe.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        # HashPipe can lose counts to evictions but never invents them.
+        for key, count in truth.items():
+            assert pipe.estimate(key) <= count
+
+    def test_total_is_conserved(self):
+        pipe = HashPipe("p", stages=2, slots_per_stage=4)
+        for i in range(100):
+            pipe.update(i % 17, 2)
+        assert pipe.total == 200
+
+
+class TestStateTransfer:
+    def test_roundtrip(self):
+        pipe = HashPipe("p", stages=3, slots_per_stage=8)
+        for i in range(60):
+            pipe.update(i % 11, i)
+        clone = HashPipe("p", stages=3, slots_per_stage=8)
+        clone.import_state(pipe.export_state())
+        for key in range(11):
+            assert clone.estimate(key) == pipe.estimate(key)
+        assert clone.total == pipe.total
+
+    def test_shape_mismatch_rejected(self):
+        a = HashPipe("p", stages=2, slots_per_stage=8)
+        b = HashPipe("p", stages=3, slots_per_stage=8)
+        with pytest.raises(ValueError):
+            b.import_state(a.export_state())
+
+
+class TestResourceModel:
+    def test_requirement_tracks_stages(self):
+        pipe = HashPipe("p", stages=5, slots_per_stage=16)
+        req = pipe.resource_requirement()
+        assert req.stages == 5
+        assert req.alus == 10

@@ -1,0 +1,118 @@
+"""Tests for register arrays."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataplane import RegisterArray, stable_hash
+
+
+class TestBasics:
+    def test_read_write(self):
+        reg = RegisterArray("r", 8)
+        reg.write(3, 42)
+        assert reg.read(3) == 42
+        assert reg.read(0) == 0
+
+    def test_index_bounds_checked(self):
+        reg = RegisterArray("r", 4)
+        with pytest.raises(IndexError):
+            reg.read(4)
+        with pytest.raises(IndexError):
+            reg.write(-1, 0)
+
+    def test_add_returns_new_value(self):
+        reg = RegisterArray("r", 4)
+        assert reg.add(0) == 1
+        assert reg.add(0, 5) == 6
+
+    def test_saturation_at_width(self):
+        reg = RegisterArray("r", 2, width_bits=8)
+        reg.write(0, 300)
+        assert reg.read(0) == 255
+        reg.add(0, 100)
+        assert reg.read(0) == 255
+
+    def test_negative_clamps_to_zero(self):
+        reg = RegisterArray("r", 2)
+        reg.add(0, -5)
+        assert reg.read(0) == 0
+
+    def test_maximum_keeps_larger(self):
+        reg = RegisterArray("r", 2)
+        reg.write(0, 10)
+        assert reg.maximum(0, 5) == 10
+        assert reg.maximum(0, 20) == 20
+
+    def test_clear_and_nonzero(self):
+        reg = RegisterArray("r", 4)
+        reg.write(1, 1)
+        reg.write(3, 1)
+        assert list(reg.nonzero()) == [1, 3]
+        reg.clear()
+        assert list(reg.nonzero()) == []
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", 0)
+        with pytest.raises(ValueError):
+            RegisterArray("r", 4, width_bits=0)
+        with pytest.raises(ValueError):
+            RegisterArray("r", 4, width_bits=65)
+
+
+class TestHashing:
+    def test_stable_hash_is_deterministic(self):
+        assert stable_hash("key", 1) == stable_hash("key", 1)
+
+    def test_salt_changes_hash(self):
+        assert stable_hash("key", 0) != stable_hash("key", 1)
+
+    def test_index_for_in_range(self):
+        reg = RegisterArray("r", 7)
+        for key in range(100):
+            assert 0 <= reg.index_for(key) < 7
+
+
+class TestStateTransfer:
+    def test_export_is_sparse(self):
+        reg = RegisterArray("r", 100)
+        reg.write(5, 9)
+        state = reg.export_state()
+        assert state["cells"] == {5: 9}
+
+    def test_roundtrip(self):
+        reg = RegisterArray("r", 16)
+        for i in (1, 5, 9):
+            reg.write(i, i * 10)
+        clone = RegisterArray("r", 16)
+        clone.write(2, 99)  # stale value must be cleared on import
+        clone.import_state(reg.export_state())
+        assert [clone.read(i) for i in range(16)] == \
+            [reg.read(i) for i in range(16)]
+
+    def test_incompatible_snapshot_rejected(self):
+        reg = RegisterArray("r", 8)
+        other = RegisterArray("r", 16)
+        with pytest.raises(ValueError):
+            other.import_state(reg.export_state())
+
+    @given(writes=st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 2**32 - 1)),
+        max_size=40))
+    def test_roundtrip_property(self, writes):
+        reg = RegisterArray("r", 32)
+        for index, value in writes:
+            reg.write(index, value)
+        clone = RegisterArray("r", 32)
+        clone.import_state(reg.export_state())
+        assert all(clone.read(i) == reg.read(i) for i in range(32))
+
+
+class TestResourceModel:
+    def test_sram_cost_scales_with_size(self):
+        small = RegisterArray("a", 1000, width_bits=32)
+        big = RegisterArray("b", 2000, width_bits=32)
+        assert big.sram_cost_mb() == pytest.approx(2 * small.sram_cost_mb())
+
+    def test_requirement_includes_alu(self):
+        assert RegisterArray("a", 10).resource_requirement().alus == 1

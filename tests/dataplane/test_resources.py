@@ -1,0 +1,118 @@
+"""Tests for resource vectors and the per-switch ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataplane import (DIMENSIONS, ResourceExhausted, ResourceLedger,
+                             ResourceVector, TOFINO_LIKE)
+
+vectors = st.builds(
+    ResourceVector,
+    stages=st.floats(0, 20), sram_mb=st.floats(0, 20),
+    tcam_kb=st.floats(0, 2000), alus=st.floats(0, 100))
+
+
+class TestVector:
+    def test_addition_is_componentwise(self):
+        total = ResourceVector(stages=1, sram_mb=2) + \
+            ResourceVector(stages=3, tcam_kb=4)
+        assert total == ResourceVector(stages=4, sram_mb=2, tcam_kb=4)
+
+    def test_subtraction(self):
+        diff = ResourceVector(stages=5) - ResourceVector(stages=2)
+        assert diff.stages == 3
+
+    def test_scaled(self):
+        assert ResourceVector(stages=2).scaled(2.5).stages == 5.0
+
+    def test_fits_within_all_dimensions(self):
+        small = ResourceVector(stages=1, sram_mb=1)
+        big = ResourceVector(stages=2, sram_mb=2, tcam_kb=1, alus=1)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_from_dict_rejects_unknown_dimension(self):
+        with pytest.raises(ValueError):
+            ResourceVector.from_dict({"gpu": 1.0})
+
+    def test_from_dict_roundtrip(self):
+        vec = ResourceVector(stages=1, sram_mb=2, tcam_kb=3, alus=4)
+        assert ResourceVector.from_dict(vec.as_dict()) == vec
+
+    def test_dominating_fraction(self):
+        need = ResourceVector(stages=6, sram_mb=1)
+        budget = ResourceVector(stages=12, sram_mb=10, tcam_kb=1, alus=1)
+        assert need.dominating_fraction(budget) == pytest.approx(0.5)
+
+    def test_dominating_fraction_infinite_when_impossible(self):
+        need = ResourceVector(tcam_kb=1)
+        budget = ResourceVector(stages=10)
+        assert need.dominating_fraction(budget) == float("inf")
+
+    def test_total(self):
+        vecs = [ResourceVector(stages=1)] * 3
+        assert ResourceVector.total(vecs).stages == 3
+
+    @given(a=vectors, b=vectors)
+    def test_add_then_subtract_is_identity(self, a, b):
+        restored = (a + b) - b
+        for dim in DIMENSIONS:
+            assert getattr(restored, dim) == pytest.approx(getattr(a, dim))
+
+    @given(a=vectors, b=vectors)
+    def test_sum_fits_iff_components_fit(self, a, b):
+        budget = a + b
+        assert a.fits_within(budget)
+        assert b.fits_within(budget)
+
+
+class TestLedger:
+    def test_allocate_and_release(self):
+        ledger = ResourceLedger(TOFINO_LIKE)
+        ledger.allocate("x", ResourceVector(stages=4))
+        assert ledger.used.stages == 4
+        assert ledger.free.stages == TOFINO_LIKE.stages - 4
+        ledger.release("x")
+        assert ledger.used.stages == 0
+
+    def test_exhaustion_raises_and_leaves_state_clean(self):
+        ledger = ResourceLedger(ResourceVector(stages=4))
+        ledger.allocate("a", ResourceVector(stages=3))
+        with pytest.raises(ResourceExhausted):
+            ledger.allocate("b", ResourceVector(stages=2))
+        assert "b" not in ledger.allocations()
+        assert ledger.used.stages == 3
+
+    def test_duplicate_name_rejected(self):
+        ledger = ResourceLedger(TOFINO_LIKE)
+        ledger.allocate("x", ResourceVector(stages=1))
+        with pytest.raises(ValueError):
+            ledger.allocate("x", ResourceVector(stages=1))
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ResourceLedger(TOFINO_LIKE).release("ghost")
+
+    def test_can_allocate_is_side_effect_free(self):
+        ledger = ResourceLedger(ResourceVector(stages=2))
+        assert ledger.can_allocate(ResourceVector(stages=2))
+        assert ledger.used.stages == 0
+
+    def test_utilization_fractions(self):
+        ledger = ResourceLedger(ResourceVector(stages=10, sram_mb=10,
+                                               tcam_kb=0, alus=10))
+        ledger.allocate("x", ResourceVector(stages=5, sram_mb=2.5))
+        util = ledger.utilization()
+        assert util["stages"] == pytest.approx(0.5)
+        assert util["sram_mb"] == pytest.approx(0.25)
+        assert util["tcam_kb"] == 0.0  # zero-budget dimension
+
+    @given(reqs=st.lists(vectors, min_size=1, max_size=10))
+    def test_ledger_never_overcommits(self, reqs):
+        ledger = ResourceLedger(TOFINO_LIKE)
+        for index, req in enumerate(reqs):
+            try:
+                ledger.allocate(f"p{index}", req)
+            except ResourceExhausted:
+                pass
+        assert ledger.used.fits_within(TOFINO_LIKE)

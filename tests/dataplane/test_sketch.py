@@ -1,0 +1,110 @@
+"""Tests for the count-min sketch."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane import CountMinSketch
+
+
+class TestBasics:
+    def test_estimate_of_unseen_key_is_zero(self):
+        sketch = CountMinSketch("s", width=64, depth=3)
+        assert sketch.estimate("ghost") == 0
+
+    def test_single_key_exact(self):
+        sketch = CountMinSketch("s", width=64, depth=3)
+        sketch.update("k", 5)
+        sketch.update("k", 2)
+        assert sketch.estimate("k") == 7
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch("s").update("k", -1)
+
+    def test_total_tracks_updates(self):
+        sketch = CountMinSketch("s")
+        sketch.update("a", 3)
+        sketch.update("b", 4)
+        assert sketch.total == 7
+
+    def test_clear(self):
+        sketch = CountMinSketch("s", width=16, depth=2)
+        sketch.update("a", 3)
+        sketch.clear()
+        assert sketch.estimate("a") == 0
+        assert sketch.total == 0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            CountMinSketch("s", depth=0)
+
+
+class TestSizing:
+    def test_for_error_dimensions(self):
+        sketch = CountMinSketch.for_error("s", epsilon=0.01, delta=0.01)
+        assert sketch.width >= 271  # ceil(e / 0.01)
+        assert sketch.depth >= 4    # ceil(ln 100)
+
+    def test_for_error_validates(self):
+        with pytest.raises(ValueError):
+            CountMinSketch.for_error("s", epsilon=0.0, delta=0.5)
+        with pytest.raises(ValueError):
+            CountMinSketch.for_error("s", epsilon=0.5, delta=1.0)
+
+
+class TestGuarantees:
+    @settings(max_examples=25, deadline=None)
+    @given(updates=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(1, 100)), max_size=200))
+    def test_never_undercounts(self, updates):
+        sketch = CountMinSketch("s", width=128, depth=4)
+        truth = {}
+        for key, count in updates:
+            sketch.update(key, count)
+            truth[key] = truth.get(key, 0) + count
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_error_bound_holds_in_expectation(self):
+        rng = random.Random(1)
+        sketch = CountMinSketch("s", width=256, depth=4)
+        truth = {}
+        for _ in range(5000):
+            key = rng.randrange(500)
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        # CM bound: overestimate <= total/width with high probability.
+        bound = sketch.total / sketch.width * 8  # generous slack
+        violations = sum(
+            1 for key, count in truth.items()
+            if sketch.estimate(key) - count > bound)
+        assert violations == 0
+
+
+class TestStateTransfer:
+    def test_roundtrip(self):
+        sketch = CountMinSketch("s", width=32, depth=3)
+        for key in range(20):
+            sketch.update(key, key + 1)
+        clone = CountMinSketch("s", width=32, depth=3)
+        clone.import_state(sketch.export_state())
+        for key in range(20):
+            assert clone.estimate(key) == sketch.estimate(key)
+        assert clone.total == sketch.total
+
+    def test_depth_mismatch_rejected(self):
+        a = CountMinSketch("s", width=32, depth=3)
+        b = CountMinSketch("s", width=32, depth=4)
+        with pytest.raises(ValueError):
+            b.import_state(a.export_state())
+
+
+class TestResourceModel:
+    def test_requirement_scales_with_depth(self):
+        shallow = CountMinSketch("a", width=64, depth=2)
+        deep = CountMinSketch("b", width=64, depth=4)
+        assert deep.resource_requirement().stages == 4
+        assert deep.resource_requirement().sram_mb == pytest.approx(
+            2 * shallow.resource_requirement().sram_mb)

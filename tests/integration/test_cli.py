@@ -1,0 +1,79 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_figure3_with_short_horizon(self, capsys):
+        assert main(["figure3", "--duration", "12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline_sdn" in out
+        assert "fastflex" in out
+        assert "mean under attack" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "module" in out
+        assert "Figure 1d" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "multimode sequence" in out
+        assert "mixed-vector" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])
+
+
+class TestControllerVerificationGate:
+    def test_broken_catalog_refused(self, fig2):
+        from repro.core import (Booster, DataflowGraph,
+                                BoosterVerificationError,
+                                FastFlexController)
+        from repro.netsim import FlowSet
+
+        class Broken(Booster):
+            name = "broken"
+
+            def dataflow(self):
+                return DataflowGraph(self.name)  # no PPMs: error finding
+
+        controller = FastFlexController(fig2.topo, [Broken()])
+        with pytest.raises(BoosterVerificationError):
+            controller.setup(FlowSet(), install_routes=False)
+
+    def test_verification_can_be_skipped(self, fig2):
+        from repro.boosters import logic_ppm
+        from repro.core import (Booster, BoosterVerificationError,
+                                DataflowGraph, FastFlexController,
+                                PpmRole)
+        from repro.dataplane import ResourceVector
+        from repro.netsim import FlowSet
+
+        class Cyclic(Booster):
+            """Deployable mechanically, but fails verification (cycle)."""
+
+            name = "cyclic"
+
+            def dataflow(self):
+                graph = DataflowGraph(self.name)
+                graph.add_ppm(logic_ppm(self.name, "a", PpmRole.DETECTION,
+                                        ResourceVector(stages=1)))
+                graph.add_ppm(logic_ppm(self.name, "b",
+                                        PpmRole.MITIGATION,
+                                        ResourceVector(stages=1)))
+                graph.add_edge("a", "b", weight=1)
+                graph.add_edge("b", "a", weight=1)
+                return graph
+
+        controller = FastFlexController(fig2.topo, [Cyclic()])
+        with pytest.raises(BoosterVerificationError):
+            controller.setup(FlowSet(), install_routes=False)
+        deployment = controller.setup(FlowSet(), install_routes=False,
+                                      verify=False)
+        assert deployment is not None

@@ -1,0 +1,82 @@
+"""Tests for the experiment drivers' reporting machinery."""
+
+import pytest
+
+from repro.experiments.figure1 import booster_suite, run_merge
+from repro.experiments.figure3 import (Figure3Config, Figure3Result,
+                                       format_report, run_fastflex)
+from repro.netsim import TimeSeries
+
+
+class TestFigure3Config:
+    def test_defaults_follow_the_paper(self):
+        config = Figure3Config()
+        assert config.duration_s == 120.0
+        assert config.te_period_s == 30.0
+        assert config.n_bots == 6
+
+    def test_normal_demand_total(self):
+        config = Figure3Config(n_clients=3, client_demand_bps=2e9)
+        assert config.normal_demand_total == 6e9
+
+
+class TestFormatReport:
+    def make_result(self, name, values):
+        series = TimeSeries("x")
+        for index, value in enumerate(values):
+            series.record(float(index), value)
+        return Figure3Result(system=name, throughput=series, rolls=2)
+
+    def test_report_contains_series_and_summary(self):
+        config = Figure3Config(duration_s=4.0, attack_start_s=1.0)
+        results = {
+            "baseline_sdn": self.make_result("baseline_sdn",
+                                             [1.0, 0.5, 0.5, 0.6]),
+            "fastflex": self.make_result("fastflex",
+                                         [1.0, 0.9, 1.0, 1.0]),
+        }
+        report = format_report(results, config)
+        assert "baseline_sdn" in report and "fastflex" in report
+        assert "mean under attack" in report
+        assert "attacker rolls" in report
+        # Every sample time appears as a row.
+        for t in ("0.0", "1.0", "2.0", "3.0"):
+            assert t in report
+
+    def test_result_windows(self):
+        config = Figure3Config(duration_s=4.0, attack_start_s=1.0)
+        result = self.make_result("x", [1.0, 0.8, 0.4, 0.2])
+        # Window starts at attack_start + 2.0 = 3.0.
+        assert result.mean_during_attack(config) == pytest.approx(0.2)
+        assert result.min_during_attack(config) == pytest.approx(0.2)
+
+
+class TestBoosterSuite:
+    def test_suite_is_fresh_per_call(self):
+        first = booster_suite()
+        second = booster_suite()
+        assert first is not second
+        assert {b.name for b in first} == {b.name for b in second}
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_suite_covers_the_paper_catalog(self):
+        names = {b.name for b in booster_suite()}
+        assert {"lfa_detector", "reroute", "dropper", "obfuscation",
+                "heavy_hitter", "hop_count", "rate_limiter",
+                "netwarden", "poise"} <= names
+
+    def test_merge_is_deterministic(self):
+        _, first = run_merge()
+        _, second = run_merge()
+        assert first.module_table == second.module_table
+        assert first.ppms_after == second.ppms_after
+
+
+class TestShortHorizonRun:
+    def test_pre_attack_throughput_is_full(self):
+        config = Figure3Config(duration_s=4.0, attack_start_s=10.0)
+        result = run_fastflex(config)
+        # The attack never starts inside the horizon.
+        assert result.throughput.mean_over(0.0, 4.0) == pytest.approx(
+            1.0, abs=0.01)
+        assert result.detections == []

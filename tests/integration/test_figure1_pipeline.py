@@ -1,0 +1,46 @@
+"""Integration: the Figure 1 pipeline on the full booster catalog."""
+
+import pytest
+
+from repro.experiments.figure1 import (booster_suite, run_merge,
+                                       run_placement, run_scaling_demo)
+
+
+class TestMerge:
+    def test_sharing_found_across_catalog(self):
+        merged, summary = run_merge()
+        assert summary.ppms_after < summary.ppms_before
+        assert summary.shared_groups >= 1
+        assert summary.sram_savings_fraction > 0
+
+    def test_module_table_covers_merged_graph(self):
+        merged, summary = run_merge()
+        assert len(summary.module_table) == summary.ppms_after
+
+    def test_strict_parser_mode_shares_less(self):
+        _, loose = run_merge(merge_all_parsers=True)
+        _, strict = run_merge(merge_all_parsers=False)
+        assert strict.ppms_after >= loose.ppms_after
+
+
+class TestPlacement:
+    @pytest.mark.parametrize("topology", ["figure2", "abilene"])
+    def test_full_catalog_placement_feasible(self, topology):
+        summary = run_placement(topology)
+        assert summary.feasible, summary.placement.infeasibility_reasons
+        assert summary.path_coverage == 1.0
+        assert summary.detector_switches >= 1
+
+    def test_cover_only_uses_fewer_detectors(self):
+        pervasive = run_placement("abilene", pervasive=True)
+        minimal = run_placement("abilene", pervasive=False)
+        assert minimal.detector_switches <= pervasive.detector_switches
+
+
+class TestScaling:
+    def test_scale_out_replicates_with_state(self):
+        summary = run_scaling_demo()
+        assert summary.instances_before == 1
+        assert summary.instances_after == 2
+        assert summary.state_seeded
+        assert summary.seed_latency_s < 0.5

@@ -1,0 +1,70 @@
+"""Integration: the Figure 2 multimode sequence and mixed vectors."""
+
+import pytest
+
+from repro.experiments.figure2 import run_mixed_vector, run_mode_sequence
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return run_mode_sequence(duration_s=20.0)
+
+
+class TestPanelA:
+    def test_default_mode_gating(self, sequence):
+        for switch, gating in sequence.default_mode_boosters.items():
+            assert gating["lfa_detector"], f"{switch}: detector must be on"
+            assert not gating["reroute"]
+            assert not gating["dropper"]
+            assert not gating["obfuscation"]
+
+
+class TestPanelB:
+    def test_all_switches_activated(self, sequence):
+        assert len(sequence.activation_times) == 8
+
+    def test_propagation_is_milliseconds(self, sequence):
+        assert sequence.propagation_delay_s is not None
+        assert sequence.propagation_delay_s < 0.05
+
+    def test_detection_precedes_activations(self, sequence):
+        assert sequence.detection_time is not None
+        assert all(t >= sequence.detection_time
+                   for t in sequence.activation_times.values())
+
+
+class TestPanelC:
+    def test_suspicious_rerouted(self, sequence):
+        assert sequence.suspicious_total > 0
+        assert sequence.suspicious_rerouted == sequence.suspicious_total
+
+    def test_normal_pinned(self, sequence):
+        assert sequence.normal_total > 0
+        assert sequence.normal_pinned == sequence.normal_total
+
+    def test_obfuscation_and_policing_engaged(self, sequence):
+        assert sequence.forged_traceroute_replies > 0
+        assert sequence.policed_flows > 0
+
+
+class TestPanelD:
+    def test_rolling_attacker_stuck(self, sequence):
+        assert sequence.attacker_rolls == 0
+        assert sequence.attacker_perceived_success
+
+    def test_network_still_in_mitigation(self, sequence):
+        assert set(sequence.final_modes.values()) == {"lfa_mitigate"}
+
+
+class TestMixedVector:
+    def test_coexisting_region_scoped_modes(self):
+        result = run_mixed_vector()
+        assert result.lfa_region and result.ddos_region
+        # West-coast LFA response, east-coast DDoS response.
+        assert "sw_seattle" in result.lfa_region
+        assert "sw_washington" in result.ddos_region
+        assert "sw_washington" not in result.lfa_region
+        assert "sw_seattle" not in result.ddos_region
+        # The scopes kept the regions from covering the whole WAN.
+        assert len(result.lfa_region) < 11
+        assert len(result.ddos_region) < 11

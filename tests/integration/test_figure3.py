@@ -1,0 +1,93 @@
+"""Integration: the Figure 3 experiment end to end (shortened horizon).
+
+The full 120 s experiment lives in ``benchmarks/``; these tests run a
+40 s version covering one baseline TE round and one attacker roll, and
+assert the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments.figure3 import (Figure3Config, run_baseline,
+                                       run_fastflex)
+
+CONFIG = Figure3Config(duration_s=40.0)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_baseline(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def fastflex():
+    return run_fastflex(CONFIG)
+
+
+class TestBaseline:
+    def test_attack_collapses_throughput(self, baseline):
+        # Before the attack: full throughput; during: a deep drop.
+        pre = baseline.throughput.mean_over(0.0, 4.0)
+        during = baseline.throughput.mean_over(10.0, 30.0)
+        assert pre == pytest.approx(1.0, abs=0.02)
+        assert during < 0.7
+
+    def test_attacker_rolls_after_te_reconfig(self, baseline):
+        assert baseline.rolls >= 1
+        roll_times = [e.time for e in baseline.attack_events
+                      if e.kind == "roll"]
+        te_times = [r.time for r in baseline.te_reconfigs]
+        assert te_times and roll_times
+        # The roll follows the TE deploy by the attacker's reaction lag.
+        assert roll_times[0] > te_times[0]
+        assert roll_times[0] - te_times[0] < 5.0
+
+    def test_roll_degrades_throughput_again(self, baseline):
+        roll_time = next(e.time for e in baseline.attack_events
+                         if e.kind == "roll")
+        post_roll = baseline.throughput.min_over(roll_time,
+                                                 roll_time + 5.0)
+        # The rolled flood lands on whatever path now carries victim
+        # traffic; the flows there starve again (never back to 100%).
+        assert post_roll < 0.8
+
+
+class TestFastFlex:
+    def test_throughput_sustained(self, fastflex):
+        during = fastflex.throughput.mean_over(10.0, 40.0)
+        assert during > 0.9
+
+    def test_detection_within_a_second(self, fastflex):
+        assert fastflex.detections
+        detection = fastflex.detections[0]
+        # The attack starts at ~t=4 (mapping takes ~0.3 s); detection
+        # needs only the sustain window (100 ms) plus a few check periods.
+        assert detection.time < CONFIG.attack_start_s + 1.0
+
+    def test_mode_change_reaches_all_switches_in_milliseconds(self,
+                                                              fastflex):
+        activations = {}
+        for event in fastflex.mode_events:
+            if event.new_mode == "lfa_mitigate":
+                activations.setdefault(event.switch, event.time)
+        assert len(activations) == 8
+        spread = max(activations.values()) - min(activations.values())
+        assert spread < 0.05
+
+    def test_attacker_never_rolls(self, fastflex):
+        assert fastflex.rolls == 0
+
+    def test_attacker_perceives_success(self, fastflex):
+        kinds = [e.kind for e in fastflex.attack_events]
+        assert "perceived_success" in kinds
+        assert "roll_detected" not in kinds
+
+
+class TestComparison:
+    def test_fastflex_beats_baseline(self, baseline, fastflex):
+        assert fastflex.mean_during_attack(CONFIG) > \
+            baseline.mean_during_attack(CONFIG) + 0.2
+
+    def test_fastflex_worst_case_beats_baseline_average(self, baseline,
+                                                        fastflex):
+        assert fastflex.min_during_attack(CONFIG) > \
+            baseline.mean_during_attack(CONFIG)

@@ -1,0 +1,127 @@
+"""Partial deployment: FastFlex alongside legacy fixed-function switches.
+
+§2: "legacy elements can still be part of the default mode, while
+programmable elements can enter and exit the defense modes dynamically."
+These tests build networks where some switches are legacy and verify
+that forwarding is unaffected, programs are refused, mode probes tunnel
+through the legacy hardware, and the scheduler places only on
+programmable switches.
+"""
+
+import pytest
+
+from repro.core import (ModeEventBus, ModeRegistry, ModeSpec,
+                        StateTransferService, install_mode_agents)
+from repro.netsim import (GBPS, LegacySwitchError, Packet, Simulator,
+                          SwitchProgram, Topology, install_host_routes,
+                          install_switch_routes)
+
+
+@pytest.fixture
+def mixed_chain(sim):
+    """h1 - p1 - L1 - L2 - p2 - h2: two programmable switches separated
+    by two legacy ones."""
+    topo = Topology(sim)
+    topo.add_switch("p1")
+    topo.add_switch("L1", programmable=False)
+    topo.add_switch("L2", programmable=False)
+    topo.add_switch("p2")
+    topo.add_duplex_link("p1", "L1", 10 * GBPS, 0.001)
+    topo.add_duplex_link("L1", "L2", 10 * GBPS, 0.001)
+    topo.add_duplex_link("L2", "p2", 10 * GBPS, 0.001)
+    topo.attach_host("h1", "p1")
+    topo.attach_host("h2", "p2")
+    install_host_routes(topo)
+    install_switch_routes(topo)
+    return topo
+
+
+class TestLegacySwitches:
+    def test_forwarding_unaffected(self, mixed_chain, sim):
+        pkt = Packet(src="h1", dst="h2")
+        mixed_chain.host("h1").originate(pkt)
+        sim.run()
+        assert pkt.dropped is None
+        assert pkt.path_taken == ["h1", "p1", "L1", "L2", "p2", "h2"]
+
+    def test_program_installation_refused(self, mixed_chain):
+        class Noop(SwitchProgram):
+            def process(self, switch, packet):
+                return None
+
+        with pytest.raises(LegacySwitchError):
+            mixed_chain.switch("L1").install_program(Noop("x"))
+
+    def test_legacy_budget_is_zero(self, mixed_chain):
+        from repro.dataplane import ResourceVector
+        assert mixed_chain.switch("L1").ledger.budget == \
+            ResourceVector.zero()
+
+    def test_programmable_switch_names(self, mixed_chain):
+        assert mixed_chain.programmable_switch_names == ["p1", "p2"]
+
+
+class TestModeProbesTunnel:
+    def test_agents_only_on_programmable(self, mixed_chain, sim):
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        agents = install_mode_agents(mixed_chain, registry)
+        assert set(agents) == {"p1", "p2"}
+        assert not mixed_chain.switch("L1").programs
+
+    def test_overlay_peers_cross_legacy_hardware(self, mixed_chain, sim):
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        agents = install_mode_agents(mixed_chain, registry)
+        assert agents["p1"].overlay_peers == ["p2"]
+        assert agents["p2"].overlay_peers == ["p1"]
+
+    def test_mode_change_propagates_through_legacy(self, mixed_chain,
+                                                   sim):
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        bus = ModeEventBus()
+        agents = install_mode_agents(mixed_chain, registry, bus=bus)
+        assert agents["p1"].initiate("lfa", "mitigate")
+        sim.run(until=1.0)
+        assert agents["p2"].mode_table.mode_for("lfa") == "mitigate"
+        # The probe crossed two legacy hops; propagation is still ms.
+        arrival = bus.first_activation("lfa", "mitigate")
+        last = max(e.time for e in bus.events)
+        assert last - arrival.time < 0.02
+
+    def test_state_transfer_crosses_legacy(self, mixed_chain, sim):
+        service = StateTransferService(mixed_chain)
+        service.install_agents()
+        assert set(service.agents) == {"p1", "p2"}
+        results = []
+        service.send("p1", "p2", {"x": 1}, on_complete=results.append)
+        sim.run(until=1.0)
+        assert results and results[0].success
+
+
+class TestPartialPlacement:
+    def test_scheduler_skips_legacy(self, sim):
+        from repro.core import ProgramAnalyzer, Scheduler, \
+            greedy_min_max_te
+        from repro.netsim import make_flow
+        from tests.core.test_scheduler import tiny_booster
+
+        topo = Topology(sim)
+        topo.add_switch("p1")
+        topo.add_switch("L1", programmable=False)
+        topo.add_switch("p2")
+        topo.add_duplex_link("p1", "L1", 10 * GBPS, 0.001)
+        topo.add_duplex_link("L1", "p2", 10 * GBPS, 0.001)
+        topo.attach_host("h1", "p1")
+        topo.attach_host("h2", "p2")
+        flows = [make_flow("h1", "h2", GBPS)]
+        te = greedy_min_max_te(topo, flows)
+        merged = ProgramAnalyzer().merge([tiny_booster()])
+        placement = Scheduler().place(
+            merged, topo, [te.paths[f.flow_id] for f in flows])
+        assert placement.feasible
+        assert "L1" not in placement.assignments or \
+            not placement.assignments["L1"]
+        hosts = placement.switches_hosting("defense.detect")
+        assert hosts and set(hosts) <= {"p1", "p2"}

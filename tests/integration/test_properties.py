@@ -1,0 +1,152 @@
+"""Cross-module property tests (hypothesis) on randomized networks.
+
+These exercise whole subsystems together on generated topologies —
+the invariants that must hold regardless of shape or seed.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (ModeEventBus, ModeRegistry, ModeSpec,
+                        StateTransferService, install_mode_agents)
+from repro.netsim import (Packet, Simulator, default_path_for,
+                          install_host_routes, install_switch_routes,
+                          random_topology)
+
+
+def build_random_net(seed, n_switches=8, n_hosts=4, extra_edges=3):
+    sim = Simulator(seed=seed)
+    topo = random_topology(sim, n_switches=n_switches, n_hosts=n_hosts,
+                           extra_edges=extra_edges)
+    install_host_routes(topo)
+    install_switch_routes(topo)
+    return sim, topo
+
+
+class TestModeProtocolProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           initiators=st.integers(1, 3))
+    def test_concurrent_initiations_converge_network_wide(self, seed,
+                                                          initiators):
+        """Any set of concurrent same-mode initiations converges: every
+        switch ends in the same mode with a consistent epoch."""
+        sim, topo = build_random_net(seed)
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        agents = install_mode_agents(topo, registry, bus=ModeEventBus())
+        names = sorted(agents)
+        rng = sim.rng
+        for _ in range(initiators):
+            origin = names[rng.randrange(len(names))]
+            sim.schedule(rng.random() * 0.01,
+                         agents[origin].initiate, "lfa", "mitigate")
+        sim.run(until=2.0)
+        modes = {agent.mode_table.mode_for("lfa")
+                 for agent in agents.values()}
+        assert modes == {"mitigate"}
+        # Epochs are small: concurrent initiations collapse, they do
+        # not escalate unboundedly.
+        epochs = {agent.mode_table.epoch_for("lfa")
+                  for agent in agents.values()}
+        assert max(epochs) <= initiators
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_activate_then_deactivate_returns_to_default(self, seed):
+        sim, topo = build_random_net(seed)
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mitigate", "lfa", ()))
+        agents = install_mode_agents(topo, registry)
+        first = sorted(agents)[0]
+        agents[first].initiate("lfa", "mitigate")
+        sim.run(until=1.0)
+        agents[first].initiate("lfa", "default")
+        sim.run(until=2.0)
+        assert all(agent.mode_table.mode_for("lfa") == "default"
+                   for agent in agents.values())
+
+
+class TestForwardingProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_packets_follow_the_computed_default_path(self, seed):
+        """default_path_for is exactly what forwarding does — for every
+        host pair on a random network."""
+        sim, topo = build_random_net(seed)
+        hosts = topo.host_names
+        for src in hosts:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                expected = default_path_for(topo, src, dst)
+                pkt = Packet(src=src, dst=dst)
+                topo.host(src).originate(pkt)
+                sim.run()
+                assert tuple(pkt.path_taken) == expected.nodes
+                assert pkt.dropped is None
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_ttl_suffices_for_any_delivered_path(self, seed):
+        sim, topo = build_random_net(seed)
+        hosts = topo.host_names
+        src, dst = hosts[0], hosts[-1]
+        pkt = Packet(src=src, dst=dst)
+        topo.host(src).originate(pkt)
+        sim.run()
+        assert pkt.dropped is None
+        assert pkt.ttl > 0
+
+
+class TestFluidProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_flows=st.integers(1, 10))
+    def test_allocation_sound_on_random_networks(self, seed, n_flows):
+        """Network-wide fluid invariants: elastic load never exceeds any
+        link's capacity, rates are demand-bounded, goodput <= rate."""
+        from repro.netsim import (FluidNetwork, FlowSet, make_flow,
+                                  shortest_path)
+        sim, topo = build_random_net(seed)
+        hosts = topo.host_names
+        rng = sim.rng
+        flows = FlowSet()
+        for index in range(n_flows):
+            src, dst = rng.sample(hosts, 2)
+            flow = make_flow(src, dst, rng.uniform(1e8, 2e10),
+                             weight=rng.choice([1.0, 25.0]),
+                             elastic=rng.random() < 0.8, sport=index)
+            flow.set_path(shortest_path(topo, src, dst))
+            flows.add(flow)
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0).start()
+        sim.run(until=0.2)
+        elastic_load = {key: 0.0 for key in topo.links}
+        for flow in flows:
+            assert 0 <= flow.rate_bps <= flow.demand_bps * (1 + 1e-9)
+            assert flow.goodput_bps <= flow.rate_bps * (1 + 1e-9)
+            if flow.elastic:
+                for key in flow.path.links():
+                    elastic_load[key] += flow.rate_bps
+        for key, load in elastic_load.items():
+            assert load <= topo.links[key].capacity_bps * (1 + 1e-6)
+
+
+class TestStateTransferProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           payload=st.dictionaries(st.text(max_size=8),
+                                   st.integers(0, 2**30), max_size=30))
+    def test_lossless_transfer_always_succeeds(self, seed, payload):
+        sim, topo = build_random_net(seed)
+        service = StateTransferService(topo)
+        service.install_agents()
+        switches = topo.switch_names
+        src, dst = switches[0], switches[-1]
+        if src == dst:
+            return
+        results = []
+        service.send(src, dst, payload, on_complete=results.append)
+        sim.run(until=2.0)
+        assert len(results) == 1
+        assert results[0].success
+        assert results[0].payload == payload

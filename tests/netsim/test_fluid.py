@@ -1,0 +1,227 @@
+"""Tests for the fluid max-min allocator and the FluidNetwork driver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import (FlowSet, FluidNetwork, Path, Simulator, Topology,
+                          make_flow, max_min_allocate)
+
+
+def tandem(sim, capacities=(1e9, 1e9)):
+    """h1 - s1 - s2 - h2 with configurable switch-switch capacity, plus a
+    second host pair sharing only the middle link."""
+    topo = Topology(sim)
+    topo.add_switch("s1")
+    topo.add_switch("s2")
+    topo.attach_host("h1", "s1", capacity_bps=100e9)
+    topo.attach_host("h2", "s2", capacity_bps=100e9)
+    topo.attach_host("h3", "s1", capacity_bps=100e9)
+    topo.attach_host("h4", "s2", capacity_bps=100e9)
+    topo.add_duplex_link("s1", "s2", capacities[0], 0.001)
+    return topo
+
+
+PATH_A = Path.of(["h1", "s1", "s2", "h2"])
+PATH_B = Path.of(["h3", "s1", "s2", "h4"])
+
+
+class TestMaxMinBasics:
+    def test_two_equal_flows_split_evenly(self, sim):
+        topo = tandem(sim)
+        flows = [make_flow("h1", "h2", 2e9, path=PATH_A),
+                 make_flow("h3", "h4", 2e9, path=PATH_B)]
+        result = max_min_allocate(topo, flows)
+        assert result.rates[flows[0].flow_id] == pytest.approx(0.5e9)
+        assert result.rates[flows[1].flow_id] == pytest.approx(0.5e9)
+
+    def test_weights_scale_shares(self, sim):
+        topo = tandem(sim)
+        flows = [make_flow("h1", "h2", 2e9, weight=3.0, path=PATH_A),
+                 make_flow("h3", "h4", 2e9, weight=1.0, path=PATH_B)]
+        result = max_min_allocate(topo, flows)
+        assert result.rates[flows[0].flow_id] == pytest.approx(0.75e9)
+        assert result.rates[flows[1].flow_id] == pytest.approx(0.25e9)
+
+    def test_demand_cap_redistributes_surplus(self, sim):
+        topo = tandem(sim)
+        flows = [make_flow("h1", "h2", 0.2e9, path=PATH_A),
+                 make_flow("h3", "h4", 5e9, path=PATH_B)]
+        result = max_min_allocate(topo, flows)
+        assert result.rates[flows[0].flow_id] == pytest.approx(0.2e9)
+        assert result.rates[flows[1].flow_id] == pytest.approx(0.8e9)
+
+    def test_pathless_flow_gets_zero(self, sim):
+        topo = tandem(sim)
+        flow = make_flow("h1", "h2", 1e9)
+        result = max_min_allocate(topo, [flow])
+        assert result.rates[flow.flow_id] == 0.0
+
+    def test_elastic_traffic_never_overloads_links(self, sim):
+        topo = tandem(sim)
+        flows = [make_flow("h1", "h2", 10e9, path=PATH_A),
+                 make_flow("h3", "h4", 10e9, path=PATH_B)]
+        result = max_min_allocate(topo, flows)
+        for key, load in result.link_load.items():
+            assert load <= topo.links[key].capacity_bps * (1 + 1e-9)
+
+    def test_inelastic_charges_full_demand_and_loses_excess(self, sim):
+        topo = tandem(sim)
+        udp = make_flow("h1", "h2", 2e9, elastic=False, path=PATH_A)
+        result = max_min_allocate(topo, [udp])
+        assert result.rates[udp.flow_id] == pytest.approx(2e9)
+        assert result.link_loss[("s1", "s2")] == pytest.approx(0.5)
+
+    def test_inelastic_starves_elastic(self, sim):
+        topo = tandem(sim)
+        udp = make_flow("h1", "h2", 1e9, elastic=False, path=PATH_A)
+        tcp = make_flow("h3", "h4", 1e9, path=PATH_B)
+        result = max_min_allocate(topo, [udp, tcp])
+        assert result.rates[tcp.flow_id] == pytest.approx(0.0, abs=1e3)
+
+    def test_policed_flow_capped(self, sim):
+        topo = tandem(sim)
+        flow = make_flow("h1", "h2", 1e9, path=PATH_A)
+        flow.police_rate_bps = 0.1e9
+        result = max_min_allocate(topo, [flow])
+        assert result.rates[flow.flow_id] == pytest.approx(0.1e9)
+
+
+class TestMaxMinProperties:
+    """Water-filling invariants under random workloads (hypothesis)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_invariants(self, data):
+        sim = Simulator(seed=0)
+        topo = tandem(sim)
+        n_flows = data.draw(st.integers(1, 8))
+        flows = []
+        for index in range(n_flows):
+            demand = data.draw(st.floats(1e6, 5e9))
+            weight = data.draw(st.floats(0.5, 100.0))
+            path = PATH_A if index % 2 == 0 else PATH_B
+            flows.append(make_flow(path.src, path.dst, demand,
+                                   weight=weight, path=path))
+        result = max_min_allocate(topo, flows)
+
+        capacities = {k: l.capacity_bps for k, l in topo.links.items()}
+        eps = 1e-3
+        for flow in flows:
+            rate = result.rates[flow.flow_id]
+            # Non-negative and demand-bounded.
+            assert rate >= -eps
+            assert rate <= flow.demand_bps + eps
+        for key, load in result.link_load.items():
+            assert load <= capacities[key] * (1 + 1e-6)
+
+        # Max-min: a flow below its demand must have a saturated link on
+        # its path where no co-resident flow has a larger per-weight rate.
+        for flow in flows:
+            rate = result.rates[flow.flow_id]
+            if rate >= flow.demand_bps - eps:
+                continue
+            normalized = rate / flow.weight
+            bottlenecked = False
+            for key in flow.path.links():
+                if result.link_load[key] < capacities[key] * (1 - 1e-6):
+                    continue
+                others = [f for f in flows if key in f.path.links()]
+                if all(result.rates[o.flow_id] / o.weight
+                       <= normalized + eps or
+                       result.rates[o.flow_id] >= o.demand_bps - eps
+                       for o in others):
+                    bottlenecked = True
+                    break
+            assert bottlenecked, (
+                f"flow {flow.flow_id} is rate-limited without a "
+                f"justifying bottleneck")
+
+
+class TestFluidNetwork:
+    def test_update_interval_validated(self, sim):
+        topo = tandem(sim)
+        with pytest.raises(ValueError):
+            FluidNetwork(topo, update_interval=0.0)
+
+    def test_rates_converge_with_smoothing(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        # Start mid-run so the flow ramps from zero (TCP-style) instead of
+        # being part of the initial allocation.
+        flow = flows.add(make_flow("h1", "h2", 0.5e9, path=PATH_A,
+                                   start_time=0.1))
+        fluid = FluidNetwork(topo, flows, update_interval=0.01,
+                             tcp_tau=0.05).start()
+        sim.run(until=0.15)
+        partial = flow.rate_bps
+        sim.run(until=1.5)
+        assert 0 < partial < 0.5e9
+        assert flow.rate_bps == pytest.approx(0.5e9, rel=1e-3)
+
+    def test_goodput_deducts_congestion_loss(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        udp = flows.add(make_flow("h1", "h2", 2e9, elastic=False,
+                                  path=PATH_A))
+        fluid = FluidNetwork(topo, flows).start()
+        sim.run(until=0.5)
+        assert udp.rate_bps == pytest.approx(2e9)
+        assert udp.goodput_bps == pytest.approx(1e9, rel=1e-6)
+        assert udp.loss_rate == pytest.approx(0.5, rel=1e-6)
+
+    def test_bytes_delivered_accumulate(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 0.8e9, path=PATH_A))
+        FluidNetwork(topo, flows, tcp_tau=0.0).start()
+        sim.run(until=1.0)
+        expected = 0.8e9 / 8  # one second at full rate
+        assert flow.bytes_delivered == pytest.approx(expected, rel=0.05)
+
+    def test_links_see_fluid_load(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flows.add(make_flow("h1", "h2", 0.6e9, path=PATH_A))
+        FluidNetwork(topo, flows, tcp_tau=0.0).start()
+        sim.run(until=0.2)
+        assert topo.link("s1", "s2").utilization == pytest.approx(0.6,
+                                                                  rel=1e-3)
+
+    def test_inactive_flows_zeroed(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 1e9, path=PATH_A,
+                                   end_time=0.5))
+        FluidNetwork(topo, flows, tcp_tau=0.0).start()
+        sim.run(until=1.0)
+        assert flow.rate_bps == 0.0
+        assert flow.goodput_bps == 0.0
+
+    def test_normal_goodput_excludes_malicious(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flows.add(make_flow("h1", "h2", 0.3e9, path=PATH_A))
+        flows.add(make_flow("h3", "h4", 0.3e9, path=PATH_B,
+                            malicious=True))
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0).start()
+        sim.run(until=0.2)
+        assert fluid.normal_goodput() == pytest.approx(0.3e9, rel=1e-3)
+
+    def test_stop_halts_updates(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 1e9, path=PATH_A,
+                                   start_time=0.5))
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0).start()
+        sim.schedule(0.2, fluid.stop)
+        sim.run(until=1.0)
+        assert flow.rate_bps == 0.0  # never observed after its start
+
+    def test_observers_called(self, sim):
+        topo = tandem(sim)
+        fluid = FluidNetwork(topo, FlowSet(), update_interval=0.1)
+        ticks = []
+        fluid.on_update.append(lambda now, result: ticks.append(now))
+        fluid.start()
+        sim.run(until=0.35)
+        assert len(ticks) == 4  # t = 0, 0.1, 0.2, 0.3

@@ -1,0 +1,100 @@
+"""Tests for the metric monitor."""
+
+import pytest
+
+from repro.netsim import (FlowSet, FluidNetwork, Monitor, Path, Simulator,
+                          TimeSeries, Topology, make_flow)
+
+
+@pytest.fixture
+def small_fluid(sim):
+    topo = Topology(sim)
+    topo.add_switch("s1")
+    topo.add_switch("s2")
+    topo.attach_host("h1", "s1")
+    topo.attach_host("h2", "s2")
+    topo.add_duplex_link("s1", "s2", 1e9, 0.001)
+    flows = FlowSet()
+    flows.add(make_flow("h1", "h2", 0.5e9,
+                        path=Path.of(["h1", "s1", "s2", "h2"])))
+    return FluidNetwork(topo, flows, tcp_tau=0.0).start()
+
+
+class TestTimeSeries:
+    def test_window_selects_half_open_interval(self):
+        series = TimeSeries("x")
+        for t in (0.0, 1.0, 2.0, 3.0):
+            series.record(t, t * 10)
+        assert series.window(1.0, 3.0) == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_mean_and_min_over(self):
+        series = TimeSeries("x")
+        for t, v in ((0.0, 1.0), (1.0, 3.0), (2.0, 5.0)):
+            series.record(t, v)
+        assert series.mean_over(0.0, 3.0) == pytest.approx(3.0)
+        assert series.min_over(1.0, 3.0) == 3.0
+
+    def test_empty_window_raises(self):
+        series = TimeSeries("x")
+        with pytest.raises(ValueError):
+            series.mean_over(0.0, 1.0)
+
+    def test_last(self):
+        series = TimeSeries("x")
+        with pytest.raises(ValueError):
+            series.last()
+        series.record(1.0, 42.0)
+        assert series.last() == 42.0
+
+
+class TestMonitor:
+    def test_period_validated(self, small_fluid):
+        with pytest.raises(ValueError):
+            Monitor(small_fluid, period=0.0)
+
+    def test_samples_at_period(self, small_fluid, sim):
+        monitor = Monitor(small_fluid, period=0.5)
+        monitor.add_gauge("const", lambda: 7.0)
+        monitor.start()
+        sim.run(until=2.2)
+        series = monitor.get("const")
+        assert series.times == [0.0, 0.5, 1.0, 1.5, 2.0]
+        assert all(v == 7.0 for v in series.values)
+
+    def test_normalized_goodput_gauge(self, small_fluid, sim):
+        monitor = Monitor(small_fluid, period=0.5)
+        monitor.watch_normal_goodput(baseline_bps=0.5e9)
+        monitor.start()
+        sim.run(until=1.1)
+        assert monitor.get("normal_goodput_norm").last() == \
+            pytest.approx(1.0, rel=1e-3)
+
+    def test_link_utilization_gauge(self, small_fluid, sim):
+        monitor = Monitor(small_fluid, period=0.5)
+        monitor.watch_link_utilization("s1", "s2")
+        monitor.start()
+        sim.run(until=1.1)
+        assert monitor.get("util:s1->s2").last() == pytest.approx(0.5,
+                                                                  rel=1e-3)
+
+    def test_duplicate_gauge_rejected(self, small_fluid):
+        monitor = Monitor(small_fluid)
+        monitor.add_gauge("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            monitor.add_gauge("x", lambda: 1.0)
+
+    def test_unknown_series_raises(self, small_fluid):
+        with pytest.raises(KeyError):
+            Monitor(small_fluid).get("ghost")
+
+    def test_zero_baseline_rejected(self, small_fluid):
+        with pytest.raises(ValueError):
+            Monitor(small_fluid).watch_normal_goodput(0.0)
+
+    def test_stop_halts_sampling(self, small_fluid, sim):
+        monitor = Monitor(small_fluid, period=0.5)
+        monitor.add_gauge("x", lambda: 1.0)
+        monitor.start()
+        sim.schedule(1.1, monitor.stop)
+        sim.run(until=3.0)
+        assert len(monitor.get("x")) == 3

@@ -1,0 +1,93 @@
+"""Tests for hosts and the node base class."""
+
+import pytest
+
+from repro.netsim import (Host, Link, Packet, PacketKind, Simulator,
+                          Topology)
+
+
+@pytest.fixture
+def wired(sim):
+    topo = Topology(sim)
+    topo.add_switch("s1")
+    topo.attach_host("h1", "s1")
+    topo.attach_host("h2", "s1")
+    topo.switch("s1").set_route("h2", ["h2"])
+    topo.switch("s1").set_route("h1", ["h1"])
+    return topo
+
+
+class TestHostBasics:
+    def test_originate_delivers_via_gateway(self, wired, sim):
+        wired.host("h1").originate(Packet(src="h1", dst="h2"))
+        sim.run()
+        assert wired.host("h2").received_count() == 1
+
+    def test_originate_to_self_is_local(self, wired, sim):
+        wired.host("h1").originate(Packet(src="h1", dst="h1"))
+        assert wired.host("h1").received_count() == 1
+
+    def test_originate_without_gateway_raises(self, sim):
+        lonely = Host(sim, "x")
+        with pytest.raises(RuntimeError):
+            lonely.originate(Packet(src="x", dst="y"))
+
+    def test_host_drops_transit_traffic(self, wired, sim):
+        pkt = Packet(src="h1", dst="elsewhere")
+        wired.host("h2").receive(pkt)
+        assert pkt.dropped == "host_not_destination"
+
+    def test_callbacks_fire_per_packet(self, wired, sim):
+        seen = []
+        wired.host("h2").on_packet(lambda p: seen.append(p.src))
+        wired.host("h1").originate(Packet(src="h1", dst="h2"))
+        sim.run()
+        assert seen == ["h1"]
+
+    def test_retain_limit_caps_stored_packets(self, wired, sim):
+        h2 = wired.host("h2")
+        h2.retain_limit = 3
+        for _ in range(5):
+            wired.host("h1").originate(Packet(src="h1", dst="h2"))
+        sim.run()
+        assert len(h2.received_packets) == 3
+        assert h2.received_count() == 5
+
+    def test_received_by_kind_separates_traffic(self, wired, sim):
+        wired.host("h1").originate(Packet(src="h1", dst="h2"))
+        wired.host("h1").originate(
+            Packet(src="h1", dst="h2", kind=PacketKind.PROBE))
+        sim.run()
+        assert wired.host("h2").received_count(PacketKind.DATA) == 1
+        assert wired.host("h2").received_count(PacketKind.PROBE) == 1
+
+
+class TestTracerouteReply:
+    def test_destination_answers_traceroute(self, wired, sim):
+        probe = Packet(src="h1", dst="h2", kind=PacketKind.TRACEROUTE,
+                       ttl=8, headers={"probe_id": 7, "probe_ttl": 2})
+        wired.host("h1").originate(probe)
+        sim.run()
+        replies = [p for p in wired.host("h1").received_packets
+                   if p.kind == PacketKind.ICMP_TTL_EXCEEDED]
+        assert len(replies) == 1
+        assert replies[0].headers["destination_reached"] is True
+        assert replies[0].headers["reporter"] == "h2"
+        assert replies[0].headers["probe_id"] == 7
+
+
+class TestNodePlumbing:
+    def test_attach_foreign_link_rejected(self, sim):
+        a, b, c = Host(sim, "a"), Host(sim, "b"), Host(sim, "c")
+        link = Link(sim, a, b, 1e9, 0.001)
+        with pytest.raises(ValueError):
+            c.attach_link(link)
+
+    def test_link_to_unknown_neighbor_raises(self, sim):
+        host = Host(sim, "a")
+        with pytest.raises(KeyError):
+            host.link_to("ghost")
+
+    def test_neighbors_lists_attached(self, wired):
+        assert wired.host("h1").neighbors == ["s1"]
+        assert set(wired.switch("s1").neighbors) == {"h1", "h2"}

@@ -1,0 +1,232 @@
+"""Tests for the programmable switch: pipeline, routing, repurposing."""
+
+import pytest
+
+from repro.dataplane import ResourceExhausted, ResourceVector
+from repro.netsim import (Consume, Drop, Forward, Packet, PacketKind,
+                          ProgrammableSwitch, Simulator, SwitchProgram,
+                          Topology)
+
+
+class Recorder(SwitchProgram):
+    """Test program: records packets, returns a scripted result."""
+
+    def __init__(self, name="recorder", result=None,
+                 requirement=ResourceVector.zero()):
+        super().__init__(name, requirement)
+        self.seen = []
+        self.result = result
+
+    def process(self, switch, packet):
+        self.seen.append(packet)
+        return self.result
+
+
+@pytest.fixture
+def net(sim):
+    """h1 - s1 - s2 - h2 plus an alternate s1 - s3 - s2 path."""
+    topo = Topology(sim)
+    for name in ("s1", "s2", "s3"):
+        topo.add_switch(name)
+    topo.attach_host("h1", "s1")
+    topo.attach_host("h2", "s2")
+    topo.add_duplex_link("s1", "s2", 1e9, 0.001)
+    topo.add_duplex_link("s1", "s3", 1e9, 0.001)
+    topo.add_duplex_link("s3", "s2", 1e9, 0.001)
+    topo.switch("s1").set_route("h2", ["s2"])
+    topo.switch("s2").set_route("h2", ["h2"])
+    topo.switch("s3").set_route("h2", ["s2"])
+    topo.switch("s2").set_route("h1", ["s1"])
+    topo.switch("s1").set_route("h1", ["h1"])
+    return topo
+
+
+def send(topo, sim, **kwargs):
+    kwargs.setdefault("src", "h1")
+    kwargs.setdefault("dst", "h2")
+    pkt = Packet(**kwargs)
+    topo.host("h1").originate(pkt)
+    sim.run()
+    return pkt
+
+
+class TestForwarding:
+    def test_packet_reaches_destination(self, net, sim):
+        pkt = send(net, sim)
+        assert net.host("h2").received_count() == 1
+        assert pkt.path_taken == ["h1", "s1", "s2", "h2"]
+
+    def test_no_route_drops(self, net, sim):
+        pkt = send(net, sim, dst="nowhere")
+        assert pkt.dropped == "no_route"
+        assert net.switch("s1").stats.packets_dropped_no_route == 1
+
+    def test_ecmp_is_deterministic_per_pair(self, net, sim):
+        net.switch("s1").set_route("h2", ["s2", "s3"])
+        first = send(net, sim)
+        second = send(net, sim, sport=9999)  # ports must not matter
+        assert first.path_taken == second.path_taken
+
+    def test_flow_route_overrides_destination_table(self, net, sim):
+        net.switch("s1").flow_routes[("h1", "h2")] = "s3"
+        pkt = send(net, sim)
+        assert "s3" in pkt.path_taken
+
+    def test_ttl_decrements_per_switch_hop(self, net, sim):
+        pkt = send(net, sim, ttl=10)
+        assert pkt.ttl == 8  # two switches
+
+
+class TestTtlExpiry:
+    def test_expiry_generates_icmp_reply(self, net, sim):
+        send(net, sim, ttl=1, kind=PacketKind.TRACEROUTE,
+             headers={"probe_id": 1, "probe_ttl": 1})
+        replies = [p for p in net.host("h1").received_packets
+                   if p.kind == PacketKind.ICMP_TTL_EXCEEDED]
+        assert len(replies) == 1
+        assert replies[0].headers["reporter"] == "s1"
+
+    def test_reporter_mutator_obfuscates(self, net, sim):
+        net.switch("s1").scratch["icmp_reporter_mutator"] = \
+            lambda sw, pkt: "fake_switch"
+        send(net, sim, ttl=1, kind=PacketKind.TRACEROUTE,
+             headers={"probe_id": 2, "probe_ttl": 1})
+        replies = [p for p in net.host("h1").received_packets
+                   if p.kind == PacketKind.ICMP_TTL_EXCEEDED]
+        assert replies[0].headers["reporter"] == "fake_switch"
+
+
+class TestPipeline:
+    def test_programs_run_in_order(self, net, sim):
+        first = Recorder("first")
+        second = Recorder("second")
+        net.switch("s1").install_program(first)
+        net.switch("s1").install_program(second)
+        send(net, sim)
+        assert len(first.seen) == 1 and len(second.seen) == 1
+
+    def test_drop_decision_stops_pipeline(self, net, sim):
+        dropper = Recorder("dropper", result=Drop("policy"))
+        after = Recorder("after")
+        net.switch("s1").install_program(dropper)
+        net.switch("s1").install_program(after)
+        pkt = send(net, sim)
+        assert pkt.dropped == "policy"
+        assert after.seen == []
+        assert net.host("h2").received_count() == 0
+
+    def test_consume_absorbs_packet(self, net, sim):
+        net.switch("s1").install_program(Recorder("sink", result=Consume()))
+        send(net, sim)
+        assert net.host("h2").received_count() == 0
+        assert net.switch("s1").stats.packets_consumed == 1
+
+    def test_forward_overrides_next_hop(self, net, sim):
+        net.switch("s1").install_program(
+            Recorder("steer", result=Forward("s3")))
+        pkt = send(net, sim)
+        assert pkt.path_taken == ["h1", "s1", "s3", "s2", "h2"]
+
+    def test_position_inserts_before(self, net, sim):
+        seen_order = []
+
+        class Tagger(SwitchProgram):
+            def __init__(self, tag):
+                super().__init__(tag)
+                self.tag = tag
+
+            def process(self, switch, packet):
+                seen_order.append(self.tag)
+                return None
+
+        net.switch("s1").install_program(Tagger("b"))
+        net.switch("s1").install_program(Tagger("a"), position=0)
+        send(net, sim)
+        assert seen_order == ["a", "b"]
+
+    def test_invalid_program_result_raises(self, net, sim):
+        net.switch("s1").install_program(Recorder("bad", result=42))
+        with pytest.raises(TypeError):
+            send(net, sim)
+
+
+class TestResourceAccounting:
+    def test_install_reserves_resources(self, net):
+        switch = net.switch("s1")
+        program = Recorder(requirement=ResourceVector(stages=2, sram_mb=1.0))
+        switch.install_program(program)
+        assert switch.ledger.used.stages == 2
+
+    def test_over_budget_install_rejected(self, net):
+        switch = net.switch("s1")
+        huge = Recorder("huge", requirement=ResourceVector(stages=1000))
+        with pytest.raises(ResourceExhausted):
+            switch.install_program(huge)
+        assert not switch.has_program("huge")
+
+    def test_remove_releases_resources(self, net):
+        switch = net.switch("s1")
+        switch.install_program(
+            Recorder(requirement=ResourceVector(stages=2)))
+        switch.remove_program("recorder")
+        assert switch.ledger.used.stages == 0
+
+    def test_duplicate_name_rejected(self, net):
+        switch = net.switch("s1")
+        switch.install_program(Recorder())
+        with pytest.raises(ValueError):
+            switch.install_program(Recorder())
+
+
+class TestReconfiguration:
+    def test_reconfiguring_switch_drops_transit(self, net, sim):
+        net.switch("s1").reconfiguring = True
+        pkt = send(net, sim)
+        assert pkt.dropped == "switch_reconfiguring"
+
+    def test_neighbors_learn_and_forget_avoidance(self, net, sim):
+        s1 = net.switch("s1")
+        s1.notify_neighbors_of_reconfig()
+        sim.run()
+        assert "s1" in net.switch("s2").avoid_neighbors
+        assert "s1" in net.switch("s3").avoid_neighbors
+        s1.notify_neighbors_of_reconfig(clearing=True)
+        sim.run()
+        assert "s1" not in net.switch("s2").avoid_neighbors
+
+    def test_fast_reroute_around_reconfiguring_neighbor(self, net, sim):
+        # s1's primary next hop s2 announces a reconfiguration; FRR
+        # sends via s3 instead.  (Without the notice, s1 has no way to
+        # know — see the repurposing ablation benchmark.)
+        net.switch("s1").frr["s2"] = "s3"
+        net.switch("s2").reconfiguring = True
+        net.switch("s1").avoid_neighbors.add("s2")
+
+        # The direct deliver path would hit s2; packets via s3 still work
+        # because s3 forwards to s2... which is down. Use a topology where
+        # s3 reaches h2 without s2: rewire s3 - h2 directly.
+        net.add_duplex_link("s3", "h2", 1e9, 0.001)
+        net.switch("s3").set_route("h2", ["h2"])
+        pkt = send(net, sim)
+        assert net.switch("s1").stats.fast_reroutes == 1
+        assert "s3" in pkt.path_taken
+        assert net.host("h2").received_count() == 1
+
+    def test_begin_reconfiguration_completes(self, net, sim):
+        s1 = net.switch("s1")
+        done = []
+        s1.begin_reconfiguration(1.0, on_complete=lambda: done.append(True))
+        assert s1.reconfiguring
+        sim.run()
+        assert done == [True]
+        assert not s1.reconfiguring
+
+    def test_hitless_reconfiguration_keeps_forwarding(self, net, sim):
+        s1 = net.switch("s1")
+        s1.begin_reconfiguration(1.0, hitless=True)
+        pkt = send(net, sim)
+        assert net.host("h2").received_count() == 1
+
+    def test_negative_duration_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.switch("s1").begin_reconfiguration(-1.0)

@@ -1,0 +1,72 @@
+"""Tests for the traceroute client."""
+
+import pytest
+
+from repro.netsim import TracerouteClient
+
+
+class TestTraceroute:
+    def test_full_path_reported(self, fig2, sim):
+        tracer = TracerouteClient(fig2.topo, "bot0")
+        results = []
+        tracer.trace("victim", callback=results.append)
+        sim.run(until=2.0)
+        assert len(results) == 1
+        result = results[0]
+        assert result.reached
+        # bot0 -> sL -> (s1|s2) -> sR -> victim
+        assert result.path[0] == "sL"
+        assert result.path[-1] == "victim"
+        assert len(result.path) == 4
+
+    def test_hops_indexed_by_ttl(self, fig2, sim):
+        tracer = TracerouteClient(fig2.topo, "bot0")
+        results = []
+        tracer.trace("decoy0", callback=results.append)
+        sim.run(until=2.0)
+        result = results[0]
+        assert result.hops_by_ttl[1] == "sL"
+        assert result.reached_ttl == 4
+
+    def test_reported_links_pair_consecutive_hops(self, fig2, sim):
+        tracer = TracerouteClient(fig2.topo, "bot0")
+        results = []
+        tracer.trace("victim", callback=results.append)
+        sim.run(until=2.0)
+        links = results[0].reported_links()
+        assert links[0][0] == "sL"
+        assert links[-1][1] == "victim"
+
+    def test_timeout_fires_when_unreachable(self, fig2, sim):
+        tracer = TracerouteClient(fig2.topo, "bot0", timeout_s=0.5)
+        results = []
+        tracer.trace("ghost_host", callback=results.append)
+        sim.run(until=2.0)
+        assert len(results) == 1
+        assert not results[0].reached
+
+    def test_concurrent_traces_do_not_mix(self, fig2, sim):
+        tracer = TracerouteClient(fig2.topo, "bot0")
+        results = {}
+        tracer.trace("victim", callback=lambda r: results.update(v=r))
+        tracer.trace("decoy0", callback=lambda r: results.update(d=r))
+        sim.run(until=2.0)
+        assert results["v"].path[-1] == "victim"
+        assert results["d"].path[-1] == "decoy0"
+
+    def test_result_lookup_by_id(self, fig2, sim):
+        tracer = TracerouteClient(fig2.topo, "bot0")
+        trace_id = tracer.trace("victim")
+        sim.run(until=2.0)
+        assert tracer.result(trace_id).reached
+
+    def test_two_clients_independent(self, fig2, sim):
+        tracer_a = TracerouteClient(fig2.topo, "bot0")
+        tracer_b = TracerouteClient(fig2.topo, "client0")
+        results = []
+        tracer_a.trace("victim", callback=results.append)
+        tracer_b.trace("victim", callback=results.append)
+        sim.run(until=2.0)
+        assert len(results) == 2
+        assert all(r.reached for r in results)
+        assert {r.src for r in results} == {"bot0", "client0"}

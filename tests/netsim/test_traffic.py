@@ -1,0 +1,90 @@
+"""Tests for traffic matrices and workload generators."""
+
+import pytest
+
+from repro.netsim import (GBPS, Simulator, TrafficMatrix,
+                          client_server_flows, figure2_topology,
+                          gravity_matrix, make_flow,
+                          poisson_flow_arrivals, uniform_matrix)
+
+
+class TestTrafficMatrix:
+    def test_set_and_get(self):
+        tm = TrafficMatrix()
+        tm.set_demand("a", "b", 1e9)
+        assert tm.demand("a", "b") == 1e9
+        assert tm.demand("b", "a") == 0.0
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix().set_demand("a", "a", 1.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix().set_demand("a", "b", -1.0)
+
+    def test_total_and_scaled(self):
+        tm = TrafficMatrix()
+        tm.set_demand("a", "b", 2.0)
+        tm.set_demand("b", "c", 3.0)
+        assert tm.total() == 5.0
+        assert tm.scaled(2.0).total() == 10.0
+
+    def test_from_flows_aggregates_pairs(self):
+        flows = [make_flow("a", "b", 1.0, sport=1),
+                 make_flow("a", "b", 2.0, sport=2),
+                 make_flow("b", "c", 4.0)]
+        tm = TrafficMatrix.from_flows(flows)
+        assert tm.demand("a", "b") == 3.0
+        assert tm.demand("b", "c") == 4.0
+
+    def test_to_flows_skips_zero_entries(self):
+        tm = TrafficMatrix()
+        tm.set_demand("a", "b", 0.0)
+        tm.set_demand("b", "c", 1.0)
+        flows = tm.to_flows()
+        assert len(flows) == 1
+        assert flows[0].src == "b"
+
+
+class TestGenerators:
+    def test_uniform_matrix_covers_all_pairs(self, sim):
+        net = figure2_topology(sim, n_clients=2, n_bots=0)
+        tm = uniform_matrix(net.topo, 1e6,
+                            hosts=["client0", "client1", "victim"])
+        assert len(tm.pairs()) == 6
+        assert tm.demand("client0", "victim") == 1e6
+
+    def test_gravity_matrix_total_preserved(self, sim):
+        net = figure2_topology(sim)
+        hosts = ["client0", "client1", "victim"]
+        tm = gravity_matrix(net.topo, 10 * GBPS, hosts=hosts)
+        assert tm.total() == pytest.approx(10 * GBPS)
+        assert all(v >= 0 for v in tm.demands.values())
+
+    def test_gravity_needs_two_hosts(self, sim):
+        net = figure2_topology(sim)
+        with pytest.raises(ValueError):
+            gravity_matrix(net.topo, 1e9, hosts=["victim"])
+
+    def test_client_server_flows(self):
+        flows = client_server_flows(["c0", "c1"], "srv", 5e6)
+        assert len(flows) == 2
+        assert all(f.dst == "srv" and f.demand_bps == 5e6 for f in flows)
+
+    def test_poisson_arrivals_within_horizon(self):
+        import random
+        rng = random.Random(3)
+        flows = poisson_flow_arrivals(rng, ["c0", "c1"], "srv",
+                                      rate_per_s=20.0,
+                                      mean_size_bytes=1e6, horizon_s=5.0)
+        assert flows, "expected some arrivals at 20/s over 5s"
+        for flow in flows:
+            assert 0 <= flow.start_time < 5.0
+            assert flow.end_time > flow.start_time
+
+    def test_poisson_rate_must_be_positive(self):
+        import random
+        with pytest.raises(ValueError):
+            poisson_flow_arrivals(random.Random(0), ["c"], "s", 0.0,
+                                  1e6, 1.0)

@@ -1,0 +1,146 @@
+"""Tests for heavy-tailed / diurnal workload generation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import FlowSet, FluidNetwork, Path, Simulator, Topology, \
+    make_flow
+from repro.netsim.workloads import (DemandModulator, EnterpriseWorkload,
+                                    diurnal_profile, elephant_mice_split,
+                                    enterprise_workload, pareto_sizes)
+
+
+class TestParetoSizes:
+    def test_sizes_bounded_below_and_capped(self):
+        rng = random.Random(1)
+        sizes = pareto_sizes(rng, 1000, min_bytes=1e4, cap_bytes=1e8)
+        assert all(1e4 <= s <= 1e8 for s in sizes)
+
+    def test_heavy_tail_shape(self):
+        # The top decile should carry a disproportionate share of bytes.
+        rng = random.Random(2)
+        sizes = pareto_sizes(rng, 5000, alpha=1.1, cap_bytes=None)
+        elephants, mice = elephant_mice_split(sizes, 0.1)
+        assert sum(elephants) > sum(mice)
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            pareto_sizes(rng, -1)
+        with pytest.raises(ValueError):
+            pareto_sizes(rng, 10, alpha=0.0)
+        with pytest.raises(ValueError):
+            elephant_mice_split([1.0], elephant_fraction=1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(0, 200))
+    def test_count_and_positivity(self, seed, n):
+        sizes = pareto_sizes(random.Random(seed), n)
+        assert len(sizes) == n
+        assert all(s > 0 for s in sizes)
+
+
+class TestDiurnalProfile:
+    def test_peak_and_trough(self):
+        demand = diurnal_profile(100.0, amplitude=0.5, period_s=100.0,
+                                 peak_at_s=25.0)
+        assert demand(25.0) == pytest.approx(150.0)
+        assert demand(75.0) == pytest.approx(50.0)
+
+    def test_periodicity(self):
+        demand = diurnal_profile(10.0, period_s=60.0)
+        assert demand(10.0) == pytest.approx(demand(70.0))
+
+    def test_zero_amplitude_is_constant(self):
+        demand = diurnal_profile(10.0, amplitude=0.0)
+        assert demand(0.0) == demand(12345.0) == 10.0
+
+    def test_never_negative(self):
+        demand = diurnal_profile(10.0, amplitude=1.0, period_s=10.0)
+        assert min(demand(t / 10) for t in range(200)) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_profile(-1.0)
+        with pytest.raises(ValueError):
+            diurnal_profile(1.0, amplitude=2.0)
+        with pytest.raises(ValueError):
+            diurnal_profile(1.0, period_s=0.0)
+
+
+class TestDemandModulator:
+    def test_demands_follow_profiles(self, sim):
+        flow = make_flow("a", "b", 100.0)
+        modulator = DemandModulator(sim, update_interval_s=1.0)
+        modulator.attach(flow, lambda t: 100.0 + t)
+        modulator.start()
+        sim.run(until=5.5)
+        assert flow.demand_bps == pytest.approx(105.0)
+
+    def test_negative_profile_clamped(self, sim):
+        flow = make_flow("a", "b", 100.0)
+        modulator = DemandModulator(sim, update_interval_s=1.0)
+        modulator.attach(flow, lambda t: -5.0)
+        modulator.start()
+        sim.run(until=2.0)
+        assert flow.demand_bps == 0.0
+
+    def test_stop(self, sim):
+        flow = make_flow("a", "b", 1.0)
+        modulator = DemandModulator(sim, update_interval_s=1.0)
+        modulator.attach(flow, lambda t: t)
+        modulator.start()
+        sim.schedule(2.5, modulator.stop)
+        sim.run(until=10.0)
+        assert flow.demand_bps == pytest.approx(2.0)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            DemandModulator(sim, update_interval_s=0.0)
+
+
+class TestEnterpriseWorkload:
+    def test_total_demand_matches(self, sim):
+        workload = enterprise_workload(
+            sim, clients=[f"c{i}" for i in range(10)], servers=["srv"],
+            total_bps=1e9)
+        assert workload.total_base_demand == pytest.approx(1e9)
+
+    def test_elephants_dominate(self, sim):
+        workload = enterprise_workload(
+            sim, clients=[f"c{i}" for i in range(10)], servers=["srv"],
+            total_bps=1e9, elephant_fraction=0.1, elephant_share=0.6)
+        demands = sorted((f.demand_bps for f in workload.flows),
+                         reverse=True)
+        assert demands[0] == pytest.approx(0.6e9)
+
+    def test_diurnal_workload_modulates_under_fluid(self, sim):
+        topo = Topology(sim)
+        topo.add_switch("s1")
+        topo.attach_host("c0", "s1", capacity_bps=1e12)
+        topo.attach_host("srv", "s1", capacity_bps=1e12)
+        workload = enterprise_workload(
+            sim, clients=["c0"], servers=["srv"], total_bps=1e8,
+            diurnal_amplitude=0.5, period_s=20.0, update_interval_s=0.5)
+        flows = FlowSet()
+        for flow in workload.flows:
+            flow.set_path(Path.of(["c0", "s1", "srv"]))
+            flows.add(flow)
+        workload.modulator.start()
+        FluidNetwork(topo, flows, tcp_tau=0.0).start()
+        observed = []
+        sim.every(1.0, lambda: observed.append(flows.normal()[0].rate_bps))
+        sim.run(until=21.0)
+        # Demand (and thus allocated rate) swings over the period.
+        assert max(observed) > 1.3 * min(o for o in observed if o > 0)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            enterprise_workload(sim, clients=[], servers=["s"],
+                                total_bps=1.0)
+        with pytest.raises(ValueError):
+            enterprise_workload(sim, clients=["c"], servers=["s"],
+                                total_bps=1.0, elephant_share=1.5)
