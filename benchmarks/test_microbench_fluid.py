@@ -1,0 +1,88 @@
+"""Microbenchmark — the fluid allocator hot path (PR trajectory bench).
+
+Times one optimized :func:`max_min_allocate` pass against the kept
+:func:`max_min_allocate_reference` on a 50-switch / 500-flow scenario
+(the scale the Figure 1 placement benches stress), plus the cost of a
+steady-state ``FluidNetwork.update`` epoch served by the dirty-flag fast
+path.  Results are printed and written to ``BENCH_fluid.json`` at the
+repo root so the numbers are comparable across PRs.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_microbench_fluid.py -s``.
+"""
+
+import json
+import random
+import statistics
+import time
+from pathlib import Path as FsPath
+
+from repro.netsim import (FlowSet, FluidNetwork, Simulator, make_flow,
+                          max_min_allocate, max_min_allocate_reference,
+                          random_topology, shortest_path)
+
+N_SWITCHES = 50
+N_HOSTS = 60
+N_FLOWS = 500
+REPEATS = 5
+BENCH_PATH = FsPath(__file__).resolve().parent.parent / "BENCH_fluid.json"
+
+
+def build_scenario(seed=42):
+    sim = Simulator(seed=seed)
+    topo = random_topology(sim, N_SWITCHES, N_HOSTS, extra_edges=30,
+                           seed=seed)
+    rng = random.Random(seed)
+    hosts = topo.host_names
+    flows = []
+    for index in range(N_FLOWS):
+        src, dst = rng.sample(hosts, 2)
+        flow = make_flow(src, dst, rng.uniform(1e6, 5e9),
+                         weight=rng.choice([1.0, 3.0, 50.0]),
+                         elastic=rng.random() > 0.15,
+                         sport=1024 + index)
+        flow.set_path(shortest_path(topo, src, dst))
+        flows.append(flow)
+    return sim, topo, flows
+
+
+def median_ms(fn, repeats=REPEATS):
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append((time.perf_counter() - start) * 1e3)
+    return statistics.median(timings)
+
+
+def test_fluid_allocator_speedup():
+    sim, topo, flows = build_scenario()
+
+    optimized_ms = median_ms(lambda: max_min_allocate(topo, flows))
+    reference_ms = median_ms(lambda: max_min_allocate_reference(topo, flows))
+    speedup = reference_ms / optimized_ms
+
+    # Steady-state epoch cost: after the first pass, updates with no
+    # flow/topology changes reuse the allocation (smoothing only).
+    flow_set = FlowSet()
+    flow_set.add_all(flows)
+    fluid = FluidNetwork(topo, flow_set, update_interval=0.01)
+    fluid.update()  # the one real allocation pass
+    steady_ms = median_ms(fluid.update, repeats=20)
+    assert fluid.allocation_passes == 1, "steady epochs must not reallocate"
+
+    record = {
+        "scenario": {"switches": N_SWITCHES, "hosts": N_HOSTS,
+                     "flows": N_FLOWS, "repeats": REPEATS},
+        "optimized_ms": round(optimized_ms, 3),
+        "reference_ms": round(reference_ms, 3),
+        "speedup": round(speedup, 2),
+        "steady_state_update_ms": round(steady_ms, 3),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nBENCH_fluid: optimized {optimized_ms:.1f} ms, "
+          f"reference {reference_ms:.1f} ms, speedup {speedup:.1f}x, "
+          f"steady-state update {steady_ms:.2f} ms -> {BENCH_PATH.name}")
+
+    assert speedup >= 3.0, (
+        f"incremental allocator regressed: only {speedup:.2f}x over "
+        f"the reference on {N_SWITCHES} switches / {N_FLOWS} flows")

@@ -76,6 +76,11 @@ class Figure3Result:
     mode_events: List = field(default_factory=list)
     te_reconfigs: List = field(default_factory=list)
     rolls: int = 0
+    #: Fluid-model work counters: epochs processed vs. actual allocator
+    #: runs (the difference is epochs served by the steady-state fast
+    #: path — a direct view of how much reallocation the attack forced).
+    fluid_updates: int = 0
+    fluid_allocation_passes: int = 0
 
     def mean_during_attack(self, config: Figure3Config) -> float:
         return self.throughput.mean_over(config.attack_start_s + 2.0,
@@ -148,7 +153,9 @@ def run_baseline(config: Optional[Figure3Config] = None) -> Figure3Result:
         system="baseline_sdn", throughput=series,
         attack_events=list(attacker.events),
         te_reconfigs=list(defense.records),
-        rolls=attacker.roll_count)
+        rolls=attacker.roll_count,
+        fluid_updates=fluid.updates,
+        fluid_allocation_passes=fluid.allocation_passes)
 
 
 def run_fastflex(config: Optional[Figure3Config] = None,
@@ -177,7 +184,9 @@ def run_fastflex(config: Optional[Figure3Config] = None,
         attack_events=list(attacker.events),
         detections=list(defense.detector.detections),
         mode_events=list(deployment.bus.events),
-        rolls=attacker.roll_count)
+        rolls=attacker.roll_count,
+        fluid_updates=fluid.updates,
+        fluid_allocation_passes=fluid.allocation_passes)
 
 
 def run_both(config: Optional[Figure3Config] = None

@@ -9,7 +9,8 @@ on a fine timer.
 
 from .engine import EventHandle, PeriodicProcess, SimContext, Simulator, SimulationError
 from .flows import Flow, FlowSet, make_flow
-from .fluid import AllocationResult, FluidNetwork, max_min_allocate
+from .fluid import (AllocationResult, FluidNetwork, max_min_allocate,
+                    max_min_allocate_reference)
 from .links import Link, LinkStats
 from .monitor import Monitor, TimeSeries
 from .node import Host, Node
@@ -51,7 +52,8 @@ __all__ = [
     "fat_tree", "figure2_topology", "gravity_matrix",
     "install_fast_reroute_alternates", "install_host_routes",
     "install_path_route", "install_switch_routes", "k_shortest_paths", "make_flow", "make_probe",
-    "max_min_allocate", "poisson_flow_arrivals", "random_topology",
+    "max_min_allocate", "max_min_allocate_reference",
+    "poisson_flow_arrivals", "random_topology",
     "shortest_path", "uniform_matrix", "DemandModulator",
     "EnterpriseWorkload", "diurnal_profile", "elephant_mice_split",
     "enterprise_workload", "pareto_sizes", "MeterWindow",

@@ -182,9 +182,15 @@ class Simulator:
             if max_events is not None and executed >= max_events:
                 break
         if until is not None and self._now < until:
-            # Advance the clock even if the queue drained early, so callers
-            # observing `now` see the full requested horizon.
-            self._now = until
+            # Advance the clock to the horizon only when no live event
+            # remains at or before it — i.e. the queue genuinely drained
+            # (or only holds later events).  When `max_events` truncated
+            # the run mid-horizon, jumping ahead would strand the queued
+            # events in the past and make a later run() rewind the clock.
+            next_live = min((e.time for e in self._queue
+                             if not e.handle.cancelled), default=None)
+            if next_live is None or next_live > until:
+                self._now = until
         return self._now
 
     def step(self) -> bool:

@@ -25,6 +25,15 @@ from .routing import Path
 
 _flow_ids = itertools.count(1)
 
+#: Fields whose mutation changes the outcome of a fluid allocation pass.
+#: Assigning any of them notifies the owning :class:`FlowSet` so the
+#: fluid model's steady-state fast path knows to re-run the allocator
+#: (see DESIGN.md, "Incremental fluid allocator").
+_ALLOC_FIELDS = frozenset({
+    "demand_bps", "weight", "elastic", "police_rate_bps", "path",
+    "start_time", "end_time",
+})
+
 
 @dataclass
 class Flow:
@@ -62,6 +71,35 @@ class Flow:
         if self.weight <= 0:
             raise ValueError(f"weight must be positive, got {self.weight}")
 
+    def __setattr__(self, name: str, value) -> None:
+        if name not in _ALLOC_FIELDS:
+            object.__setattr__(self, name, value)
+            return
+        unchanged = name in self.__dict__ and self.__dict__[name] == value
+        object.__setattr__(self, name, value)
+        if unchanged:
+            return
+        if name == "path":
+            self.__dict__["_cached_links"] = None
+        owner = self.__dict__.get("_owner")
+        if owner is not None:
+            owner._mark_dirty()
+
+    def path_links(self) -> Optional[tuple]:
+        """The flow's directed link keys, cached until the next reroute.
+
+        Returns ``None`` for pathless flows.  The cache is invalidated by
+        any assignment to ``path`` (including :meth:`set_path`), so
+        rerouting boosters need no extra bookkeeping.
+        """
+        links = self.__dict__.get("_cached_links")
+        if links is None:
+            if self.path is None:
+                return None
+            links = self.path.link_keys
+            self.__dict__["_cached_links"] = links
+        return links
+
     @property
     def effective_demand_bps(self) -> float:
         """Demand after policing — what the allocator may grant."""
@@ -97,22 +135,42 @@ class Flow:
 
 
 class FlowSet:
-    """The collection of flows a simulation runs; supports tagging queries."""
+    """The collection of flows a simulation runs; supports tagging queries.
+
+    The set maintains a monotonically increasing :attr:`version` bumped by
+    membership changes and by allocation-relevant mutations of member
+    flows (reroutes, demand changes, policing).  The fluid model compares
+    versions across epochs to skip reallocation in steady state.
+    """
 
     def __init__(self) -> None:
         self._flows: Dict[int, Flow] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped whenever membership or an allocation input changes."""
+        return self._version
+
+    def _mark_dirty(self) -> None:
+        self._version += 1
 
     def add(self, flow: Flow) -> Flow:
         if flow.flow_id in self._flows:
             raise ValueError(f"flow #{flow.flow_id} already registered")
         self._flows[flow.flow_id] = flow
+        flow.__dict__["_owner"] = self
+        self._version += 1
         return flow
 
     def add_all(self, flows: Iterable[Flow]) -> List[Flow]:
         return [self.add(f) for f in flows]
 
     def remove(self, flow: Flow) -> None:
-        self._flows.pop(flow.flow_id, None)
+        removed = self._flows.pop(flow.flow_id, None)
+        if removed is not None:
+            removed.__dict__.pop("_owner", None)
+            self._version += 1
 
     def __iter__(self):
         return iter(self._flows.values())
@@ -134,7 +192,7 @@ class FlowSet:
 
     def crossing_link(self, a: str, b: str) -> List[Flow]:
         return [f for f in self._flows.values()
-                if f.path is not None and (a, b) in f.path.links()]
+                if f.path is not None and (a, b) in f.path_links()]
 
 
 def make_flow(src: str, dst: str, demand_bps: float, *,

@@ -83,6 +83,9 @@ class Link:
         self._busy = False
         #: Optional per-packet observers (monitors, tests).
         self.on_transmit: list = []
+        #: Observers of structural changes (capacity); the owning topology
+        #: registers one so cached fluid allocations are invalidated.
+        self.on_change: list = []
 
     # ------------------------------------------------------------------
     # Identification
@@ -129,6 +132,24 @@ class Link:
         rho = min(self.utilization, 1.0)
         full_drain = self.queue_bytes * 8 / self.capacity_bps
         return full_drain * rho ** 3
+
+    # ------------------------------------------------------------------
+    # Runtime mutation
+    # ------------------------------------------------------------------
+    def set_capacity(self, capacity_bps: float) -> None:
+        """Change the line rate at runtime (e.g. a rate-limited port while
+        its switch is repurposed).  Notifies ``on_change`` observers so the
+        fluid model re-runs allocation; mutating ``capacity_bps`` directly
+        would silently leave a stale cached allocation in place.
+        """
+        if capacity_bps <= 0:
+            raise ValueError(
+                f"link capacity must be positive, got {capacity_bps}")
+        if capacity_bps == self.capacity_bps:
+            return
+        self.capacity_bps = capacity_bps
+        for observer in self.on_change:
+            observer(self)
 
     # ------------------------------------------------------------------
     # Failure injection

@@ -38,6 +38,10 @@ class Path:
             raise ValueError("a path needs at least one node")
         if len(set(self.nodes)) != len(self.nodes):
             raise ValueError(f"path has a loop: {self.nodes}")
+        # Paths are immutable, so the link keys can be materialized once;
+        # the fluid allocator reads them on every pass (hot path).
+        object.__setattr__(self, "_link_keys",
+                           tuple(zip(self.nodes, self.nodes[1:])))
 
     @classmethod
     def of(cls, nodes: Sequence[str]) -> "Path":
@@ -55,24 +59,32 @@ class Path:
     def hops(self) -> int:
         return len(self.nodes) - 1
 
+    @property
+    def link_keys(self) -> Tuple[Tuple[str, str], ...]:
+        """Directed (src, dst) link keys along the path, as an immutable
+        tuple computed once at construction.  Hot-path accessor: the fluid
+        allocator and per-flow caches read this instead of :meth:`links`,
+        which allocates a fresh list per call."""
+        return self._link_keys  # type: ignore[attr-defined]
+
     def links(self) -> List[Tuple[str, str]]:
         """Directed (src, dst) link keys along the path."""
-        return list(zip(self.nodes, self.nodes[1:]))
+        return list(self._link_keys)  # type: ignore[attr-defined]
 
     def contains_link(self, a: str, b: str,
                       either_direction: bool = True) -> bool:
-        links = self.links()
+        links = self.link_keys
         if (a, b) in links:
             return True
         return either_direction and (b, a) in links
 
     def latency(self, topo: Topology) -> float:
         """Total propagation delay along the path."""
-        return sum(topo.link(a, b).delay_s for a, b in self.links())
+        return sum(topo.link(a, b).delay_s for a, b in self.link_keys)
 
     def min_capacity(self, topo: Topology) -> float:
         """Bottleneck link capacity along the path."""
-        return min(topo.link(a, b).capacity_bps for a, b in self.links())
+        return min(topo.link(a, b).capacity_bps for a, b in self.link_keys)
 
     def __iter__(self):
         return iter(self.nodes)

@@ -39,6 +39,14 @@ class Topology:
         self.nodes: Dict[str, Node] = {}
         #: Directed links keyed by (src, dst) node names.
         self.links: Dict[Tuple[str, str], Link] = {}
+        #: Bumped on every structural mutation (node/link add or remove,
+        #: capacity change).  The fluid model compares it across epochs to
+        #: decide whether a cached allocation is still valid, so all
+        #: runtime mutations must go through the Topology/Link APIs.
+        self.version = 0
+
+    def _mark_mutated(self, *_args) -> None:
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Construction
@@ -50,6 +58,7 @@ class Topology:
         switch = ProgrammableSwitch(self.sim, name, resources,
                                     programmable=programmable)
         self.nodes[name] = switch
+        self._mark_mutated()
         return switch
 
     @property
@@ -61,6 +70,7 @@ class Topology:
         self._check_fresh(name)
         host = Host(self.sim, name, gateway=gateway)
         self.nodes[name] = host
+        self._mark_mutated()
         return host
 
     def attach_host(self, name: str, switch: str,
@@ -82,7 +92,36 @@ class Topology:
         node_b.attach_link(rev)
         self.links[(a, b)] = fwd
         self.links[(b, a)] = rev
+        # Runtime capacity changes must also invalidate cached allocations.
+        fwd.on_change.append(self._mark_mutated)
+        rev.on_change.append(self._mark_mutated)
+        self._mark_mutated()
         return fwd, rev
+
+    def remove_link(self, a: str, b: str) -> None:
+        """Remove the duplex link between ``a`` and ``b`` (both directions).
+
+        Models a port taken out of service, e.g. while a switch is
+        repurposed.  Flows whose cached paths cross the removed link are
+        zero-routed by the fluid model until something reroutes them.
+        """
+        removed = False
+        for key in ((a, b), (b, a)):
+            link = self.links.pop(key, None)
+            if link is not None:
+                link.src.links.pop(link.dst.name, None)
+                removed = True
+        if not removed:
+            raise KeyError(f"no link {a}<->{b} in {self.name}")
+        self._mark_mutated()
+
+    def remove_switch(self, name: str) -> None:
+        """Remove a switch and every link incident to it."""
+        switch = self.switch(name)  # type-checks the target
+        for neighbor in list(switch.neighbors):
+            self.remove_link(name, neighbor)
+        del self.nodes[name]
+        self._mark_mutated()
 
     def _check_fresh(self, name: str) -> None:
         if name in self.nodes:

@@ -84,7 +84,6 @@ def gravity_matrix(topo: Topology, total_bps: float,
         raise ValueError("need at least two hosts for a traffic matrix")
     rng = rng if rng is not None else topo.sim.rng
     masses = {h: rng.uniform(0.5, 2.0) for h in names}
-    mass_total = sum(masses.values())
     tm = TrafficMatrix()
     norm = sum(masses[s] * masses[d] for s in names for d in names if s != d)
     for src in names:
@@ -93,7 +92,6 @@ def gravity_matrix(topo: Topology, total_bps: float,
                 continue
             share = masses[src] * masses[dst] / norm
             tm.set_demand(src, dst, total_bps * share)
-    del mass_total
     return tm
 
 
@@ -129,7 +127,10 @@ def poisson_flow_arrivals(rng: random.Random, clients: List[str],
         size = rng.expovariate(1.0 / mean_size_bytes)
         duration = max(size * 8 / bandwidth_bps, 1e-3)
         client = rng.choice(clients)
+        # Source ports identify connections but must stay inside the
+        # 16-bit port space; wrap into [1024, 65535) on long horizons.
+        sport = 1024 + len(flows) % (65535 - 1024)
         flows.append(make_flow(client, server, bandwidth_bps,
-                               sport=len(flows) + 1024,
+                               sport=sport,
                                start_time=t, end_time=t + duration))
     return flows

@@ -98,6 +98,38 @@ class TestRunControl:
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
+    def test_max_events_truncation_does_not_jump_clock(self, sim):
+        """Regression: when `max_events` truncates a bounded run, the
+        clock must not jump to `until` past still-queued events — a later
+        run() would then set `now` backwards (time travel)."""
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(until=20.0, max_events=3)
+        assert sim.now == 3.0  # at the last executed event, not 20.0
+        observed = []
+        sim.add_tracer(lambda t, h: observed.append(t))
+        sim.run(until=20.0)
+        assert observed == sorted(observed)
+        assert fired == list(range(10))
+        assert sim.now == 20.0
+
+    def test_truncated_run_resumes_without_losing_events(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        sim.run(until=10.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_still_advances_when_only_cancelled_events_remain(
+            self, sim):
+        handle = sim.schedule(3.0, lambda: None)
+        handle.cancel()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
     def test_step_executes_one_event(self, sim):
         fired = []
         sim.schedule(1.0, fired.append, "a")

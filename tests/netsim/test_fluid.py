@@ -4,7 +4,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netsim import (FlowSet, FluidNetwork, Path, Simulator, Topology,
-                          make_flow, max_min_allocate)
+                          make_flow, max_min_allocate,
+                          max_min_allocate_reference)
+from repro.netsim.fluid import _stall_freeze
 
 
 def tandem(sim, capacities=(1e9, 1e9)):
@@ -84,6 +86,100 @@ class TestMaxMinBasics:
         flow.police_rate_bps = 0.1e9
         result = max_min_allocate(topo, [flow])
         assert result.rates[flow.flow_id] == pytest.approx(0.1e9)
+
+
+def diamond(sim, capacity=1e9):
+    """h1 - s1 - {s2 | s3-s4} - s5 - h2: two distinct s1->s5 routes."""
+    topo = Topology(sim)
+    for name in ("s1", "s2", "s3", "s4", "s5"):
+        topo.add_switch(name)
+    topo.attach_host("h1", "s1", capacity_bps=100e9)
+    topo.attach_host("h2", "s5", capacity_bps=100e9)
+    topo.add_duplex_link("s1", "s2", capacity, 0.001)
+    topo.add_duplex_link("s2", "s5", capacity, 0.001)
+    topo.add_duplex_link("s1", "s3", capacity, 0.001)
+    topo.add_duplex_link("s3", "s4", capacity, 0.001)
+    topo.add_duplex_link("s4", "s5", capacity, 0.001)
+    return topo
+
+
+SHORT = Path.of(["h1", "s1", "s2", "s5", "h2"])
+LONG = Path.of(["h1", "s1", "s3", "s4", "s5", "h2"])
+
+
+class TestAllocatorRegressions:
+    """Pins for the epsilon, stall-guard, and removed-link bugs."""
+
+    def test_bps_scale_links_saturate_fully(self, sim):
+        """Regression: the saturation epsilon must be capacity-relative.
+        With an absolute 1e-6 epsilon, float residue on 10 Gbps-scale
+        capacities (~2e-6 after x - (x/w)*w) kept links unfrozen and the
+        filling loop spinning; every overdemanded flow must end with its
+        exact fair share and the link exactly full."""
+        topo = tandem(sim, capacities=(10e9,))
+        flows = []
+        for i in range(7):
+            path = PATH_A if i % 2 == 0 else PATH_B
+            flows.append(make_flow(path.src, path.dst, 20e9,
+                                   weight=1.0 + 0.3 * i, path=path))
+        result = max_min_allocate(topo, flows)
+        total_weight = sum(f.weight for f in flows)
+        for flow in flows:
+            expected = 10e9 * flow.weight / total_weight
+            assert result.rates[flow.flow_id] == pytest.approx(expected,
+                                                               rel=1e-9)
+        assert result.link_load[("s1", "s2")] == pytest.approx(10e9,
+                                                               rel=1e-9)
+
+    def test_no_flow_left_unfrozen_below_fair_share(self, sim):
+        """Regression for the silent stall `break`: every elastic flow
+        must end at its demand or pinned by a saturated link — never
+        abandoned mid-fill with a partial rate."""
+        import random
+        rng = random.Random(5)
+        topo = tandem(sim, capacities=(10e9,))
+        flows = []
+        for i in range(40):
+            path = PATH_A if i % 2 == 0 else PATH_B
+            flows.append(make_flow(path.src, path.dst,
+                                   rng.uniform(1e6, 40e9),
+                                   weight=rng.uniform(0.5, 80.0),
+                                   path=path))
+        result = max_min_allocate(topo, flows)
+        capacities = {k: l.capacity_bps for k, l in topo.links.items()}
+        for flow in flows:
+            rate = result.rates[flow.flow_id]
+            if rate >= flow.demand_bps * (1 - 1e-9):
+                continue
+            saturated = [key for key in flow.path.links()
+                         if result.link_load[key]
+                         >= capacities[key] * (1 - 1e-6)]
+            assert saturated, (
+                f"flow {flow.flow_id} stopped at {rate:.0f} bps below its "
+                f"demand with no saturated link on its path")
+
+    def test_stall_guard_freezes_most_loaded_link_members(self):
+        link_count = {("a", "b"): 2, ("b", "c"): 1, ("c", "d"): 0}
+        remaining = {("a", "b"): 5e8, ("b", "c"): 1e6, ("c", "d"): 0.0}
+        capacities = {("a", "b"): 1e9, ("b", "c"): 1e9, ("c", "d"): 1e9}
+        f1 = make_flow("h1", "h2", 1e9, path=Path.of(["h1", "h2"]))
+        f2 = make_flow("h1", "h2", 1e9, path=Path.of(["h1", "h2"]))
+        members = {("a", "b"): [f1, f2], ("b", "c"): [f2], ("c", "d"): []}
+        unfrozen = {f1.flow_id: (f1, ()), f2.flow_id: (f2, ())}
+        # ("c", "d") has zero headroom but no unfrozen members; the guard
+        # must pick ("b", "c") — the least-headroom *active* link.
+        assert _stall_freeze(link_count, remaining, capacities, members,
+                             unfrozen) == [f2.flow_id]
+
+    def test_flow_over_removed_link_allocated_zero(self, sim):
+        topo = diamond(sim)
+        short = make_flow("h1", "h2", 1e9, path=SHORT)
+        long = make_flow("h1", "h2", 1e9, path=LONG, sport=1)
+        topo.remove_link("s2", "s5")
+        result = max_min_allocate(topo, [short, long])
+        assert result.rates[short.flow_id] == 0.0
+        assert result.rates[long.flow_id] == pytest.approx(1e9)
+        assert ("s2", "s5") not in result.link_load
 
 
 class TestMaxMinProperties:
@@ -225,3 +321,130 @@ class TestFluidNetwork:
         fluid.start()
         sim.run(until=0.35)
         assert len(ticks) == 4  # t = 0, 0.1, 0.2, 0.3
+
+
+class TestSteadyStateFastPath:
+    """The dirty-flag contract: unchanged epochs skip reallocation."""
+
+    def test_unchanged_epochs_reuse_allocation(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 0.5e9, path=PATH_A))
+        fluid = FluidNetwork(topo, flows, update_interval=0.01).start()
+        sim.run(until=1.0)
+        assert fluid.updates >= 100  # one per 10 ms epoch
+        assert fluid.allocation_passes == 1
+        # Smoothing still ran every epoch: the rate converged.
+        assert flow.rate_bps == pytest.approx(0.5e9, rel=1e-3)
+
+    def test_reroute_marks_dirty(self, sim):
+        topo = diamond(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 0.5e9, path=SHORT))
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0,
+                             update_interval=0.01).start()
+        sim.schedule(0.1, flow.set_path, LONG)
+        sim.run(until=0.2)
+        assert fluid.allocation_passes == 2
+        assert fluid.last_result.link_load[("s3", "s4")] == \
+            pytest.approx(0.5e9)
+
+    def test_rewriting_same_path_stays_clean(self, sim):
+        topo = diamond(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 0.5e9, path=SHORT))
+        fluid = FluidNetwork(topo, flows, update_interval=0.01).start()
+        # A TE pass that re-installs the identical route must not defeat
+        # the fast path.
+        sim.schedule(0.1, flow.set_path, Path.of(list(SHORT.nodes)))
+        sim.run(until=0.2)
+        assert fluid.allocation_passes == 1
+
+    def test_demand_change_marks_dirty(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 0.2e9, path=PATH_A))
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0,
+                             update_interval=0.01).start()
+
+        def pulse():
+            flow.demand_bps = 0.9e9
+
+        sim.schedule(0.1, pulse)
+        sim.run(until=0.2)
+        assert fluid.allocation_passes == 2
+        assert flow.rate_bps == pytest.approx(0.9e9)
+
+    def test_policing_marks_dirty(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 0.8e9, path=PATH_A))
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0,
+                             update_interval=0.01).start()
+
+        def police():
+            flow.police_rate_bps = 0.1e9
+
+        sim.schedule(0.1, police)
+        sim.run(until=0.2)
+        assert fluid.allocation_passes == 2
+        assert flow.rate_bps == pytest.approx(0.1e9)
+
+    def test_flow_add_and_activation_mark_dirty(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flows.add(make_flow("h1", "h2", 0.2e9, path=PATH_A))
+        fluid = FluidNetwork(topo, flows, update_interval=0.01).start()
+
+        def join():
+            flows.add(make_flow("h3", "h4", 0.2e9, path=PATH_B, sport=1))
+
+        sim.schedule(0.05, join)
+        # A third flow is registered up front but only activates at 0.15;
+        # the activation alone must also trigger a pass.
+        flows.add(make_flow("h3", "h4", 0.2e9, path=PATH_B, sport=2,
+                            start_time=0.15))
+        sim.run(until=0.25)
+        assert fluid.allocation_passes == 3
+
+    def test_link_capacity_change_marks_dirty(self, sim):
+        topo = tandem(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 2e9, path=PATH_A))
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0,
+                             update_interval=0.01).start()
+        sim.schedule(0.1, topo.link("s1", "s2").set_capacity, 0.5e9)
+        sim.run(until=0.2)
+        assert fluid.allocation_passes == 2
+        assert flow.rate_bps == pytest.approx(0.5e9)
+
+
+class TestRemovedLinks:
+    """Switch repurposing removes links under live flows (satellite 3)."""
+
+    def test_update_survives_link_removal(self, sim):
+        topo = diamond(sim)
+        flows = FlowSet()
+        stranded = flows.add(make_flow("h1", "h2", 0.5e9, path=SHORT))
+        detoured = flows.add(make_flow("h1", "h2", 0.5e9, path=LONG,
+                                       sport=1))
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0,
+                             update_interval=0.01).start()
+        sim.schedule(0.1, topo.remove_link, "s2", "s5")
+        sim.run(until=0.2)  # would KeyError before the guard
+        assert stranded.rate_bps == 0.0
+        assert stranded.goodput_bps == 0.0
+        assert stranded.loss_rate == 1.0
+        assert detoured.rate_bps == pytest.approx(0.5e9)
+
+    def test_rerouted_flow_recovers_after_removal(self, sim):
+        topo = diamond(sim)
+        flows = FlowSet()
+        flow = flows.add(make_flow("h1", "h2", 0.5e9, path=SHORT))
+        fluid = FluidNetwork(topo, flows, tcp_tau=0.0,
+                             update_interval=0.01).start()
+        sim.schedule(0.1, topo.remove_link, "s2", "s5")
+        sim.schedule(0.15, flow.set_path, LONG)
+        sim.run(until=0.25)
+        assert flow.rate_bps == pytest.approx(0.5e9)
+        assert flow.loss_rate == 0.0

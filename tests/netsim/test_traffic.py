@@ -88,3 +88,19 @@ class TestGenerators:
         with pytest.raises(ValueError):
             poisson_flow_arrivals(random.Random(0), ["c"], "s", 0.0,
                                   1e6, 1.0)
+
+    def test_poisson_sports_stay_in_16bit_port_space(self):
+        """Regression: sport was len(flows)+1024 without wrapping, which
+        overflows the 16-bit port space once a horizon produces more than
+        ~64.5k flows."""
+        import random
+        rng = random.Random(11)
+        flows = poisson_flow_arrivals(rng, ["c0"], "srv",
+                                      rate_per_s=20000.0,
+                                      mean_size_bytes=1e4, horizon_s=4.0)
+        assert len(flows) > 65535, "need enough flows to wrap"
+        for flow in flows:
+            assert 1024 <= flow.key.sport < 65535
+        # The wrap is deterministic: flow i gets 1024 + i mod 64511.
+        assert flows[0].key.sport == 1024
+        assert flows[64511].key.sport == 1024
