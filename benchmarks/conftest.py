@@ -3,4 +3,81 @@
 Every benchmark prints the rows/series the paper reports (visible with
 ``pytest benchmarks/ --benchmark-only -s``) and stores the same numbers
 in ``benchmark.extra_info`` for machine consumption.
+
+At session end this conftest writes ``BENCH_summary.json`` at the repo
+root: one entry per benchmark that ran (name, timing stats, extra_info)
+plus the contents of any standalone ``BENCH_*.json`` files the suites
+wrote themselves and a snapshot of the telemetry registry accumulated
+over the session.  CI and cross-PR comparisons read this one file
+instead of scraping pytest output.
 """
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SUMMARY_PATH = REPO_ROOT / "BENCH_summary.json"
+
+
+def _benchmark_entries(config):
+    session = getattr(config, "_benchmarksession", None)
+    if session is None:
+        return []
+    entries = []
+    for bench in session.benchmarks:
+        stats = {}
+        if bench.stats is not None:
+            for field in ("min", "max", "mean", "median", "stddev",
+                          "rounds", "iterations"):
+                value = getattr(bench.stats, field, None)
+                if value is not None:
+                    stats[field] = value
+        entries.append({
+            "name": bench.name,
+            "group": bench.group,
+            "fullname": bench.fullname,
+            "stats": stats,
+            "extra_info": dict(bench.extra_info),
+        })
+    return entries
+
+
+def _standalone_records():
+    records = {}
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        if path == SUMMARY_PATH:
+            continue
+        try:
+            records[path.name] = json.loads(path.read_text())
+        except (OSError, ValueError):
+            records[path.name] = {"error": f"unreadable: {path.name}"}
+    return records
+
+
+def _telemetry_snapshot():
+    try:
+        from repro import telemetry
+    except ImportError:
+        return {}
+    return telemetry.metrics().snapshot()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    config = session.config
+    benchmarks = _benchmark_entries(config)
+    if not benchmarks and not any(REPO_ROOT.glob("BENCH_*.json")):
+        return  # collection-only / empty runs: nothing to summarize
+    summary = {
+        "exitstatus": int(exitstatus),
+        "benchmarks": benchmarks,
+        "standalone": _standalone_records(),
+        "telemetry": _telemetry_snapshot(),
+    }
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True,
+                                       default=str) + "\n")
+    reporter = config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(
+            f"BENCH_summary: {len(benchmarks)} benchmark(s), "
+            f"{len(summary['standalone'])} standalone file(s) -> "
+            f"{SUMMARY_PATH.name}")

@@ -8,10 +8,8 @@ different hardware.  This bench compares the analyzer's weight-threshold
 clustering against naive splits on the real booster catalog.
 """
 
-import itertools
 import random
 
-import pytest
 
 from repro.experiments.figure1 import booster_suite, run_merge
 

@@ -7,7 +7,6 @@ period: shorter periods detect a distributed violation faster but cost
 more probe bytes; without sync the violation is *never* detected.
 """
 
-import pytest
 
 from repro.core import DetectorSyncAgent
 from repro.netsim import (Simulator, figure2_topology, install_host_routes,

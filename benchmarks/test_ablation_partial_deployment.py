@@ -8,7 +8,6 @@ and detector path coverage (paths crossing only legacy switches cannot
 be watched).
 """
 
-import pytest
 
 from repro.core import (ModeEventBus, ModeRegistry, ModeSpec,
                         ProgramAnalyzer, Scheduler, greedy_min_max_te,

@@ -7,7 +7,6 @@ switches; this bench floods every link with heavy congestion loss and
 compares convergence with refresh enabled vs. (effectively) disabled.
 """
 
-import pytest
 
 from repro.core import ModeEventBus, ModeRegistry, ModeSpec, \
     install_mode_agents

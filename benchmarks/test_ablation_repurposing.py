@@ -7,7 +7,6 @@ streams probes across the repurposed switch during the window and counts
 what survives under the three disciplines.
 """
 
-import pytest
 
 from repro.core import ScalingManager, StateTransferService
 from repro.netsim import (Packet, Simulator, figure2_topology,

@@ -8,7 +8,6 @@ their short paths (no latency stretch) with the same throughput
 protection.
 """
 
-import pytest
 
 from repro.boosters import CongestionRerouteBooster, PacketDropperBooster
 from repro.boosters.lfa_defense import build_figure2_defense

@@ -5,10 +5,9 @@ SRAM/stage budget the joint analysis saves, with parser merging on and
 off.  This is the quantified version of Figure 1's (a) -> (b) step.
 """
 
-import pytest
 
 from repro.dataplane import ResourceLedger, TOFINO_LIKE
-from repro.experiments.figure1 import booster_suite, run_merge
+from repro.experiments.figure1 import run_merge
 
 
 def catalog_requirements(merge_all_parsers):

@@ -7,7 +7,6 @@ cool-down machinery caps that thrash.  The bench counts mode transitions
 over a fixed pulse train with and without the guard.
 """
 
-import pytest
 
 from repro.attacks import PulsingAttacker
 from repro.boosters import LfaDetectorBooster, build_figure2_defense

@@ -8,7 +8,6 @@ each switch's modules out with the stage allocator — proving the
 placements are realizable, not just arithmetically feasible.
 """
 
-import pytest
 
 from repro.dataplane import (MatchActionTable, MatchKind,
                              PipelineLayoutError, layout_tables)

@@ -5,7 +5,6 @@ for the full booster catalog and reports the sharing savings that
 motivate Challenge 1 (resource multiplexing).
 """
 
-import pytest
 
 from repro.experiments.figure1 import run_merge
 

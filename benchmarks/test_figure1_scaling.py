@@ -6,7 +6,6 @@ switch, seeding it with FEC-protected state transfer, and reports the
 replication latency.
 """
 
-import pytest
 
 from repro.experiments.figure1 import run_scaling_demo
 

@@ -8,7 +8,6 @@ pytest-benchmark statistics, unlike the single-shot scenario benches).
 
 import random
 
-import pytest
 
 from repro.core import ModeRegistry, ModeSpec, ModeTable
 from repro.dataplane import (BloomFilter, CountMinSketch, FecDecoder,

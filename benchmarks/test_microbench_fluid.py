@@ -16,6 +16,7 @@ import statistics
 import time
 from pathlib import Path as FsPath
 
+from repro import telemetry
 from repro.netsim import (FlowSet, FluidNetwork, Simulator, make_flow,
                           max_min_allocate, max_min_allocate_reference,
                           random_topology, shortest_path)
@@ -54,6 +55,25 @@ def median_ms(fn, repeats=REPEATS):
     return statistics.median(timings)
 
 
+# Registry counters whose per-benchmark deltas go into BENCH_fluid.json.
+# The registry is process-wide, so absolute values would aggregate over
+# the whole pytest session; deltas isolate this benchmark's work.
+TELEMETRY_COUNTERS = (
+    "fluid_updates_total",
+    "fluid_allocation_passes_total",
+    "fluid_fastpath_hits_total",
+    "fluid_fastpath_misses_total",
+    "fluid_freeze_rounds_total",
+    "fluid_stall_freezes_total",
+)
+
+
+def telemetry_counters():
+    registry = telemetry.metrics()
+    return {name: (registry.get(name).value if name in registry else 0.0)
+            for name in TELEMETRY_COUNTERS}
+
+
 def test_fluid_allocator_speedup():
     sim, topo, flows = build_scenario()
 
@@ -66,9 +86,15 @@ def test_fluid_allocator_speedup():
     flow_set = FlowSet()
     flow_set.add_all(flows)
     fluid = FluidNetwork(topo, flow_set, update_interval=0.01)
+    counters_before = telemetry_counters()
     fluid.update()  # the one real allocation pass
     steady_ms = median_ms(fluid.update, repeats=20)
     assert fluid.allocation_passes == 1, "steady epochs must not reallocate"
+    counters_after = telemetry_counters()
+    deltas = {name: counters_after[name] - counters_before[name]
+              for name in TELEMETRY_COUNTERS}
+    assert deltas["fluid_allocation_passes_total"] == 1
+    assert deltas["fluid_fastpath_hits_total"] == 20
 
     record = {
         "scenario": {"switches": N_SWITCHES, "hosts": N_HOSTS,
@@ -77,6 +103,7 @@ def test_fluid_allocator_speedup():
         "reference_ms": round(reference_ms, 3),
         "speedup": round(speedup, 2),
         "steady_state_update_ms": round(steady_ms, 3),
+        "telemetry": deltas,
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nBENCH_fluid: optimized {optimized_ms:.1f} ms, "

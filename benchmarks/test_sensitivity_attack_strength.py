@@ -6,7 +6,6 @@ FastFlex line stays flat throughout.  This sweep varies the per-bot
 connection count and records both systems' means.
 """
 
-import pytest
 
 from repro.experiments.figure3 import (Figure3Config, run_baseline,
                                        run_fastflex)

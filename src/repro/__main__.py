@@ -6,12 +6,22 @@ Subcommands regenerate the paper's figures:
 * ``figure2`` — the multimode sequence and mixed-vector regions.
 * ``figure3`` — the FastFlex vs. SDN baseline throughput series.
 * ``all``     — everything, in order.
+
+Telemetry flags (any experiment):
+
+* ``--trace FILE``   — enable structured event tracing and write the
+  run's timeline (mode transitions, detections, allocation passes,
+  repurposing, state transfers) as JSON Lines.
+* ``--metrics FILE`` — write a JSON snapshot of the metrics registry
+  (counters, gauges, histograms) after the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from . import telemetry
 
 
 def main(argv=None) -> int:
@@ -27,26 +37,50 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=None,
         help="override the figure3 random seed")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record structured events and write them as JSONL to FILE")
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write a JSON metrics-registry snapshot to FILE")
     args = parser.parse_args(argv)
 
-    if args.experiment in ("figure1", "all"):
-        from .experiments.figure1 import format_report
-        print(format_report())
-        print()
-    if args.experiment in ("figure2", "all"):
-        from .experiments import figure2
-        figure2.main()
-        print()
-    if args.experiment in ("figure3", "all"):
-        from .experiments.figure3 import (Figure3Config, format_report,
-                                          run_both)
-        overrides = {}
-        if args.duration is not None:
-            overrides["duration_s"] = args.duration
-        if args.seed is not None:
-            overrides["seed"] = args.seed
-        config = Figure3Config(**overrides)
-        print(format_report(run_both(config), config))
+    # One run = one snapshot: zero whatever earlier in-process runs
+    # accumulated, then opt into tracing if asked.
+    telemetry.reset()
+    trace = telemetry.trace()
+    was_enabled = trace.enabled
+    if args.trace is not None:
+        trace.enable()
+    try:
+        if args.experiment in ("figure1", "all"):
+            from .experiments.figure1 import format_report
+            print(format_report())
+            print()
+        if args.experiment in ("figure2", "all"):
+            from .experiments import figure2
+            figure2.main()
+            print()
+        if args.experiment in ("figure3", "all"):
+            from .experiments.figure3 import (Figure3Config, format_report,
+                                              run_both)
+            overrides = {}
+            if args.duration is not None:
+                overrides["duration_s"] = args.duration
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            config = Figure3Config(**overrides)
+            print(format_report(run_both(config), config))
+    finally:
+        if args.trace is not None:
+            written = trace.write_jsonl(args.trace)
+            print(f"[telemetry] wrote {written} trace events "
+                  f"to {args.trace}", file=sys.stderr)
+            trace.enabled = was_enabled
+        if args.metrics is not None:
+            telemetry.metrics().write_json(args.metrics)
+            print(f"[telemetry] wrote metrics snapshot to {args.metrics}",
+                  file=sys.stderr)
     return 0
 
 

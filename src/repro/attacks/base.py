@@ -9,8 +9,8 @@ reads it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..netsim.flows import Flow
 from ..netsim.fluid import FluidNetwork

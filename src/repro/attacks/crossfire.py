@@ -27,7 +27,7 @@ from ..netsim.flows import make_flow
 from ..netsim.fluid import FluidNetwork
 from ..netsim.routing import Path
 from ..netsim.topology import Topology
-from ..netsim.tracing import TracerouteClient, TracerouteResult
+from ..netsim.traceroute import TracerouteClient, TracerouteResult
 from .base import Attacker
 
 

@@ -21,7 +21,7 @@ from typing import List, Optional
 
 from ..netsim.fluid import FluidNetwork
 from ..netsim.topology import Topology
-from ..netsim.tracing import TracerouteResult
+from ..netsim.traceroute import TracerouteResult
 from .crossfire import CrossfireAttacker
 
 

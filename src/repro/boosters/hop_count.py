@@ -12,7 +12,7 @@ mode turns on enforcement.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.booster import Booster, GatedProgram
 from ..core.dataflow import DataflowGraph

@@ -21,7 +21,7 @@ Two faces, one booster:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.booster import Booster, GatedProgram
@@ -33,10 +33,23 @@ from ..dataplane.resources import ResourceVector
 from ..netsim.fluid import FluidNetwork
 from ..netsim.packet import Packet, PacketKind, TcpFlags
 from ..netsim.switch import ProgrammableSwitch, ProgramResult
+from ..telemetry import metrics, trace
 from .base import flow_table_ppm, logic_ppm, parser_ppm
 
 ATTACK_TYPE = "lfa"
 MITIGATION_MODE = "lfa_mitigate"
+
+_MET = metrics()
+_TRACE = trace()
+_C_DETECTIONS = _MET.counter(
+    "booster_detections_total", "attack detections by booster",
+    labelnames=("booster",))
+_C_FLOWS_FLAGGED = _MET.counter(
+    "booster_flows_flagged_total",
+    "flows marked suspicious by detection classifiers")
+_C_ALL_CLEAR = _MET.counter(
+    "booster_all_clear_total",
+    "detector-initiated reversions to the default mode")
 
 
 @dataclass
@@ -203,6 +216,15 @@ class LfaDetectorBooster(Booster):
                 time=sim.now, switch=switch_name, link=link_key,
                 utilization=util, suspicious_flows=len(suspicious),
                 attack_rate_bps=attack_rate))
+            _C_DETECTIONS.labels(self.name).inc()
+            _C_FLOWS_FLAGGED.inc(len(suspicious))
+            if _TRACE.enabled:
+                _TRACE.emit(
+                    "detection", sim_time=sim.now, booster=self.name,
+                    switch=switch_name, link=link_key,
+                    utilization=round(util, 4),
+                    suspicious_flows=len(suspicious),
+                    attack_rate_bps=attack_rate)
             agent = deployment.agent(switch_name)
             if agent.initiate(ATTACK_TYPE, MITIGATION_MODE, scope=self.scope):
                 self._initiated = (switch_name, attack_rate)
@@ -261,6 +283,10 @@ class LfaDetectorBooster(Booster):
             return
         agent = deployment.agent(switch_name)
         if agent.initiate(ATTACK_TYPE, "default", scope=self.scope):
+            _C_ALL_CLEAR.inc()
+            if _TRACE.enabled:
+                _TRACE.emit("all_clear", sim_time=sim.now,
+                            booster=self.name, switch=switch_name)
             self._initiated = None
             self._calm_since = None
             self._hot_since.clear()

@@ -16,7 +16,7 @@ sharing example, with real stage savings.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from ..core.booster import Booster, GatedProgram
 from ..core.dataflow import DataflowGraph

@@ -16,7 +16,7 @@ walks past the claimed path) and consumes the probe.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..core.booster import Booster, GatedProgram
 from ..core.dataflow import DataflowGraph

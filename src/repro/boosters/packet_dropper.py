@@ -14,7 +14,7 @@ Fluid path: policing the flow's rate to ``keep_fraction`` of its demand.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..core.booster import Booster, GatedProgram
 from ..core.dataflow import DataflowGraph
@@ -24,8 +24,18 @@ from ..dataplane.resources import ResourceVector
 from ..netsim.fluid import FluidNetwork
 from ..netsim.packet import Packet, PacketKind
 from ..netsim.switch import Drop, ProgrammableSwitch, ProgramResult
+from ..telemetry import metrics, trace
 from .base import bloom_ppm, logic_ppm, parser_ppm
 from .lfa_detector import ATTACK_TYPE, MITIGATION_MODE
+
+_MET = metrics()
+_TRACE = trace()
+_C_FLOWS_POLICED = _MET.counter(
+    "booster_flows_policed_total",
+    "flows rate-limited to a trickle by the dropper")
+_C_PACKETS_DROPPED = _MET.counter(
+    "booster_packets_dropped_total",
+    "packets dropped by the blocklist on the packet path")
 
 
 class PacketDropperProgram(GatedProgram):
@@ -49,6 +59,7 @@ class PacketDropperProgram(GatedProgram):
             return None
         if packet.flow_key in self.blocklist:
             self.packets_dropped += 1
+            _C_PACKETS_DROPPED.inc()
             return Drop("suspicious_flow")
         return None
 
@@ -128,6 +139,13 @@ class PacketDropperBooster(Booster):
                 flow.police_rate_bps = self.keep_fraction * flow.demand_bps
                 self._policed[flow.flow_id] = flow
                 self.flows_policed += 1
+                _C_FLOWS_POLICED.inc()
+                if _TRACE.enabled:
+                    _TRACE.emit(
+                        "mitigation", sim_time=now, booster=self.name,
+                        action="police", flow_id=flow.flow_id,
+                        suspicion_score=round(flow.suspicion_score, 4),
+                        police_rate_bps=flow.police_rate_bps)
                 for program in self.programs.values():
                     program.block(flow.key)
 

@@ -16,7 +16,7 @@ table.  Enforcement is always on for protected destinations; a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.booster import Booster, GatedProgram

@@ -16,8 +16,8 @@ variant for the selective-reroute ablation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..core.booster import Booster, GatedProgram
 from ..core.dataflow import DataflowGraph
@@ -27,8 +27,18 @@ from ..netsim.fluid import FluidNetwork
 from ..netsim.packet import Packet, PacketKind, Protocol
 from ..netsim.routing import Path, install_flow_route
 from ..netsim.switch import Consume, ProgrammableSwitch, ProgramResult
+from ..telemetry import metrics, trace
 from .base import logic_ppm, parser_ppm
 from .lfa_detector import ATTACK_TYPE, MITIGATION_MODE
+
+_MET = metrics()
+_TRACE = trace()
+_C_REROUTES = _MET.counter(
+    "booster_reroutes_applied_total",
+    "flow steerings onto probe-discovered detours")
+_C_PATHS_RESTORED = _MET.counter(
+    "booster_paths_restored_total",
+    "steered flows returned to their original TE paths")
 
 
 @dataclass
@@ -273,6 +283,12 @@ class CongestionRerouteBooster(Booster):
         # traffic of this pair (including traceroutes) follows the detour.
         install_flow_route(topo, new)
         self.reroutes_applied += 1
+        _C_REROUTES.inc()
+        if _TRACE.enabled:
+            _TRACE.emit("mitigation", sim_time=now, booster=self.name,
+                        action="reroute", flow_id=flow.flow_id,
+                        suspicious=flow.suspicious,
+                        path=list(new.nodes))
 
     def _walk(self, topo, start: str, origin: str,
               now: float) -> Optional[List[str]]:
@@ -301,4 +317,5 @@ class CongestionRerouteBooster(Booster):
             if original is not None:
                 flow.set_path(original)
                 install_flow_route(deployment.topo, original)
+                _C_PATHS_RESTORED.inc()
         self._original_paths.clear()

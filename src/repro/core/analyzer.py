@@ -11,7 +11,7 @@ benchmark's headline numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..dataplane.resources import ResourceVector
 from .dataflow import DataflowGraph

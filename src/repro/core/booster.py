@@ -11,7 +11,7 @@ defenses on and off without touching the installed program set.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, TYPE_CHECKING
 
 from ..netsim.packet import Packet
 from ..netsim.switch import ProgrammableSwitch, ProgramResult, SwitchProgram

@@ -10,7 +10,7 @@ be co-located; the analyzer and scheduler both consume this structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .ppm import PpmSpec

@@ -22,7 +22,7 @@ into their union (the analyzer exploits both).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..dataplane.parser import HeaderParser
 from .ppm import PpmKind, PpmSignature, PpmSpec

@@ -20,9 +20,26 @@ from typing import Dict, List, Optional
 from ..netsim.packet import Packet, PacketKind, Protocol
 from ..netsim.switch import Consume, ProgrammableSwitch, ProgramResult, SwitchProgram
 from ..dataplane.resources import ResourceVector
+from ..telemetry import metrics, trace
 from .modes import (DEFAULT_MODE, ModeChangeEvent, ModeEventBus,
                     ModeRegistry, ModeTable)
 from .stability import StabilityGuard
+
+# Process-wide probe/transition telemetry (DESIGN.md "Telemetry").
+# Probe loss is counted at the link layer (see netsim/links.py), which
+# is the only place a drop is actually observed.
+_MET = metrics()
+_TRACE = trace()
+_C_PROBES_SENT = _MET.counter(
+    "mode_probes_sent_total", "MODE_CHANGE probes emitted by agents")
+_C_PROBES_RECEIVED = _MET.counter(
+    "mode_probes_received_total", "MODE_CHANGE probes consumed by agents")
+_C_TRANSITIONS = _MET.counter(
+    "mode_transitions_total", "mode-table transitions applied",
+    labelnames=("cause",))
+_C_SUPPRESSED = _MET.counter(
+    "mode_changes_suppressed_total",
+    "locally initiated changes vetoed by the stability guard")
 
 #: Resource cost of the agent: one stage of logic plus epoch registers.
 AGENT_REQUIREMENT = ResourceVector(stages=1, sram_mb=0.05, tcam_kb=0, alus=2)
@@ -81,7 +98,10 @@ class ModeChangeAgent(SwitchProgram):
         #: attack_type -> [mode, epoch, seq, scope, rounds_left].
         self._owned: Dict[str, list] = {}
         self._refresh_process = None
-        self.mode_table.on_change(self._notify_bus)
+        #: Why the in-flight ``mode_table.apply`` happened — read by the
+        #: change observer so transitions are traced with their cause.
+        self._apply_cause = "unknown"
+        self.mode_table.on_change(self._on_transition)
 
     # ------------------------------------------------------------------
     # SwitchProgram interface
@@ -97,6 +117,7 @@ class ModeChangeAgent(SwitchProgram):
         if packet.kind != PacketKind.MODE_CHANGE:
             return None
         self.probes_received += 1
+        _C_PROBES_RECEIVED.inc()
         headers = packet.headers
         if packet.dst != switch.name and packet.dst in switch.routes:
             # In transit to another agent (unicast through legacy
@@ -104,6 +125,7 @@ class ModeChangeAgent(SwitchProgram):
             # lands here was simply mid-route): forward normally.
             return None
         attack_type = headers["attack_type"]
+        self._apply_cause = "probe"
         self.mode_table.apply(attack_type, headers["mode"],
                               headers["epoch"])
         # Flooding dedup on (epoch, seq): re-advertisements with a newer
@@ -129,6 +151,7 @@ class ModeChangeAgent(SwitchProgram):
         }
 
     def import_state(self, state: Dict) -> None:
+        self._apply_cause = "state_import"
         for attack, epoch in state.get("epochs", {}).items():
             mode = state.get("modes", {}).get(attack, "default")
             self.mode_table.apply(attack, mode, epoch)
@@ -149,8 +172,14 @@ class ModeChangeAgent(SwitchProgram):
         if self.guard is not None and not self.guard.allow_change(
                 attack_type, mode, now):
             self.changes_suppressed += 1
+            _C_SUPPRESSED.inc()
+            if _TRACE.enabled:
+                _TRACE.emit("mode_change_suppressed", sim_time=now,
+                            switch=self.switch.name,
+                            attack_type=attack_type, mode=mode)
             return False
         epoch = self.mode_table.next_epoch(attack_type)
+        self._apply_cause = "local_detection"
         applied = self.mode_table.apply(attack_type, mode, epoch)
         if not applied:
             return False
@@ -223,18 +252,31 @@ class ModeChangeAgent(SwitchProgram):
             if target in switch.links:
                 switch.links[target].send(probe)
                 self.probes_sent += 1
+                _C_PROBES_SENT.inc()
                 continue
             # The peer sits behind legacy hardware: unicast through it.
             next_hop = switch._resolve_next_hop(probe)
             if next_hop is not None:
                 switch.send_via(next_hop, probe)
                 self.probes_sent += 1
+                _C_PROBES_SENT.inc()
 
-    def _notify_bus(self, attack_type: str, old: str, new: str,
-                    epoch: int) -> None:
-        if self.bus is not None and self.switch is not None:
+    def _on_transition(self, attack_type: str, old: str, new: str,
+                       epoch: int) -> None:
+        cause = self._apply_cause
+        self._apply_cause = "unknown"
+        _C_TRANSITIONS.labels(cause).inc()
+        if self.switch is None:
+            return
+        now = self.switch.sim.now
+        if _TRACE.enabled:
+            _TRACE.emit("mode_transition", sim_time=now,
+                        switch=self.switch.name, attack_type=attack_type,
+                        old_mode=old, new_mode=new, epoch=epoch,
+                        cause=cause)
+        if self.bus is not None:
             self.bus.publish(ModeChangeEvent(
-                time=self.switch.sim.now, switch=self.switch.name,
+                time=now, switch=self.switch.name,
                 attack_type=attack_type, old_mode=old, new_mode=new,
                 epoch=epoch))
 

@@ -13,7 +13,7 @@ themselves on ``table.booster_enabled(...)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 #: The quiescent mode every attack type rests in.

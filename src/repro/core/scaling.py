@@ -21,10 +21,21 @@ from typing import Callable, List, Optional
 
 from ..netsim.switch import ProgrammableSwitch, SwitchProgram
 from ..netsim.topology import Topology
+from ..telemetry import metrics, trace
 from .state_transfer import StateTransferService, TransferResult
 
 #: Program factory used by scale-out: builds a fresh runtime instance.
 ProgramFactory = Callable[[], SwitchProgram]
+
+_MET = metrics()
+_TRACE = trace()
+_C_REPURPOSES = _MET.counter(
+    "repurpose_operations_total", "switch repurposing operations started")
+_C_SCALE_OUTS = _MET.counter(
+    "scale_out_operations_total", "booster replications onto new switches")
+_H_DOWNTIME = _MET.histogram(
+    "repurpose_downtime_seconds",
+    "announced reconfiguration downtime per repurposing (0 for hitless)")
 
 
 @dataclass
@@ -85,6 +96,13 @@ class ScalingManager:
             hitless=hitless,
             removed=list(remove or []))
         self.records.append(record)
+        _C_REPURPOSES.inc()
+        _H_DOWNTIME.observe(record.downtime_s)
+        if _TRACE.enabled:
+            _TRACE.emit("repurpose_start", sim_time=self.sim.now,
+                        switch=switch_name, hitless=hitless,
+                        downtime_s=record.downtime_s,
+                        removed=record.removed)
 
         switch.notify_neighbors_of_reconfig()
         self.sim.schedule(self.notify_grace_s, self._begin, switch, record,
@@ -120,6 +138,13 @@ class ScalingManager:
                 switch.install_program(program)
                 record.installed.append(program.name)
             record.completed_at = self.sim.now
+            if _TRACE.enabled:
+                _TRACE.emit(
+                    "repurpose_complete", sim_time=self.sim.now,
+                    switch=record.switch,
+                    elapsed_s=self.sim.now - record.started_at,
+                    installed=record.installed,
+                    state_transfer_ok=record.state_transfer_ok)
             if on_complete is not None:
                 on_complete(record)
 
@@ -139,6 +164,11 @@ class ScalingManager:
         target = self.topo.switch(to_switch)
         program = factory()
         target.install_program(program)
+        _C_SCALE_OUTS.inc()
+        if _TRACE.enabled:
+            _TRACE.emit("scale_out", sim_time=self.sim.now,
+                        program=program_name, source=from_switch,
+                        target=to_switch, copy_state=copy_state)
 
         if not copy_state:
             if on_ready is not None:

@@ -19,7 +19,7 @@ Implements Section 3.2's placement strategy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from ..dataplane.resources import ResourceLedger, ResourceVector
 from ..netsim.routing import Path

@@ -18,7 +18,7 @@ over.  The guard enforces three classic self-stabilization measures:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Tuple
 
 

@@ -27,10 +27,23 @@ from ..dataplane.resources import ResourceVector
 from ..netsim.packet import Packet, PacketKind, Protocol
 from ..netsim.switch import Consume, ProgrammableSwitch, ProgramResult, SwitchProgram
 from ..netsim.topology import Topology
+from ..telemetry import metrics, trace
 
 AGENT_REQUIREMENT = ResourceVector(stages=1, sram_mb=0.2, tcam_kb=0, alus=2)
 
 _transfer_ids = itertools.count(1)
+
+_MET = metrics()
+_TRACE = trace()
+_C_TRANSFERS = _MET.counter(
+    "state_transfers_total", "completed state transfers by outcome",
+    labelnames=("outcome",))
+_C_FEC_RECOVERED = _MET.counter(
+    "state_transfer_fec_recovered_words_total",
+    "32-bit state words reconstructed by FEC parity")
+_C_WORDS_LOST = _MET.counter(
+    "state_transfer_words_lost_total",
+    "state words unrecoverable even after FEC decode")
 
 
 def state_to_words(state: Any) -> List[int]:
@@ -127,6 +140,17 @@ class StateTransferAgent(SwitchProgram):
         if result.success:
             result.payload = words_to_state(
                 [w for w in words if w is not None], meta["blob_length"])
+        _C_TRANSFERS.labels("success" if result.success else "failed").inc()
+        _C_FEC_RECOVERED.inc(recovered)
+        _C_WORDS_LOST.inc(lost)
+        if _TRACE.enabled:
+            _TRACE.emit(
+                "state_transfer", sim_time=result.completed_at,
+                transfer_id=transfer_id, success=result.success,
+                words_total=n_words, words_lost=lost,
+                recovered_by_fec=recovered,
+                packets_received=pending.packets_received,
+                packets_sent=meta["total_packets"])
         if pending.callback is not None:
             pending.callback(result)
         self.service.record_result(result)

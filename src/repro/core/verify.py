@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..dataplane.resources import ResourceVector, TOFINO_LIKE
 from .analyzer import ProgramAnalyzer

@@ -10,8 +10,8 @@ instance at runtime (d).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..boosters.heavy_hitter import HeavyHitterBooster
 from ..boosters.hop_count import HopCountFilterBooster
@@ -29,7 +29,7 @@ from ..core.te import greedy_min_max_te
 from ..dataplane.resources import ResourceVector
 from ..netsim.engine import Simulator
 from ..netsim.flows import FlowSet, make_flow
-from ..netsim.topology import GBPS, Topology, abilene_like, figure2_topology
+from ..netsim.topology import GBPS, abilene_like, figure2_topology
 
 
 def booster_suite() -> List[Booster]:
@@ -160,7 +160,6 @@ def run_scaling_demo(hitless: bool = False) -> ScalingSummary:
     from ..core.state_transfer import StateTransferService
     from ..netsim.routing import (install_host_routes,
                                   install_switch_routes)
-    from ..boosters.heavy_hitter import HeavyHitterProgram
 
     sim = Simulator(seed=13)
     net = figure2_topology(sim)
@@ -173,7 +172,6 @@ def run_scaling_demo(hitless: bool = False) -> ScalingSummary:
     program = booster._make_detector(source)
     source.install_program(program)
     # Load it with traffic so there is state worth moving.
-    from ..netsim.packet import Packet
     for index in range(500):
         program.pipe.update(f"host{index % 20}", 1000 + index)
 

@@ -18,12 +18,12 @@ probes' hop-scope.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..attacks.rolling import RollingAttacker
 from ..boosters.lfa_defense import build_figure2_defense
 from ..boosters.lfa_detector import ATTACK_TYPE, MITIGATION_MODE
-from ..core.modes import DEFAULT_MODE, ModeEventBus, ModeRegistry, ModeSpec
+from ..core.modes import ModeEventBus, ModeRegistry, ModeSpec
 from ..core.mode_protocol import install_mode_agents
 from ..netsim.engine import Simulator
 from ..netsim.flows import FlowSet, make_flow

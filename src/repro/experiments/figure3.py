@@ -31,6 +31,9 @@ from ..netsim.routing import (install_fast_reroute_alternates,
                               install_switch_routes)
 from ..netsim.topology import GBPS, FigureTwoNetwork, figure2_topology
 from ..netsim.engine import Simulator
+from ..telemetry import phase_timer, trace
+
+_TRACE = trace()
 
 
 @dataclass
@@ -128,6 +131,9 @@ def _launch_attacker(net: FigureTwoNetwork, fluid: FluidNetwork,
 def run_baseline(config: Optional[Figure3Config] = None) -> Figure3Result:
     """The SDN-TE baseline run."""
     config = config if config is not None else Figure3Config()
+    _TRACE.set_context(system="baseline_sdn")
+    _TRACE.emit("experiment_start", sim_time=0.0, experiment="figure3",
+                duration_s=config.duration_s, seed=config.seed)
     sim, net, fluid, flows = _build_network(config)
     topo = net.topo
 
@@ -147,8 +153,13 @@ def run_baseline(config: Optional[Figure3Config] = None) -> Figure3Result:
     monitor.start()
 
     attacker = _launch_attacker(net, fluid, config)
-    sim.run(until=config.duration_s)
+    with phase_timer("figure3_baseline_run", trace=_TRACE,
+                     sim_time=config.duration_s):
+        sim.run(until=config.duration_s)
 
+    _TRACE.emit("experiment_end", sim_time=sim.now, experiment="figure3",
+                rolls=attacker.roll_count)
+    _TRACE.clear_context("system")
     return Figure3Result(
         system="baseline_sdn", throughput=series,
         attack_events=list(attacker.events),
@@ -163,6 +174,9 @@ def run_fastflex(config: Optional[Figure3Config] = None,
                  ) -> Figure3Result:
     """The FastFlex run (multimode data plane, no runtime controller)."""
     config = config if config is not None else Figure3Config()
+    _TRACE.set_context(system="fastflex")
+    _TRACE.emit("experiment_start", sim_time=0.0, experiment="figure3",
+                duration_s=config.duration_s, seed=config.seed)
     sim, net, fluid, flows = _build_network(config)
 
     defense: LfaDefense = build_figure2_defense(
@@ -177,8 +191,13 @@ def run_fastflex(config: Optional[Figure3Config] = None,
     monitor.start()
 
     attacker = _launch_attacker(net, fluid, config)
-    sim.run(until=config.duration_s)
+    with phase_timer("figure3_fastflex_run", trace=_TRACE,
+                     sim_time=config.duration_s):
+        sim.run(until=config.duration_s)
 
+    _TRACE.emit("experiment_end", sim_time=sim.now, experiment="figure3",
+                rolls=attacker.roll_count)
+    _TRACE.clear_context("system")
     return Figure3Result(
         system="fastflex", throughput=series,
         attack_events=list(attacker.events),

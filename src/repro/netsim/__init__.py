@@ -30,7 +30,7 @@ from .switch import (Consume, Decision, Drop, Forward, LegacySwitchError,
 from .topology import (GBPS, MBPS, MS, US, FigureTwoNetwork, Topology,
                        abilene_like, fat_tree, figure2_topology,
                        random_topology)
-from .tracing import TracerouteClient, TracerouteResult
+from .traceroute import TracerouteClient, TracerouteResult
 from .workloads import (DemandModulator, EnterpriseWorkload,
                         diurnal_profile, elephant_mice_split,
                         enterprise_workload, pareto_sizes)

@@ -19,6 +19,23 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..telemetry import metrics
+
+# Cached process-wide metric objects (see DESIGN.md "Telemetry"): the
+# execution loop touches these once per event, so the per-event overhead
+# is a couple of attribute adds — no registry lookups on the hot path.
+_MET = metrics()
+_C_SCHEDULED = _MET.counter(
+    "sim_events_scheduled_total", "events pushed onto the simulator queue")
+_C_EXECUTED = _MET.counter(
+    "sim_events_executed_total", "events whose callback actually ran")
+_C_CANCELLED = _MET.counter(
+    "sim_events_cancelled_total",
+    "cancelled events discarded when they reached the head of the queue")
+_G_QUEUE_DEPTH = _MET.gauge(
+    "sim_queue_depth", "pending entries in the event queue (incl. "
+    "cancelled ones not yet discarded)")
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is used incorrectly (e.g. time travel)."""
@@ -144,6 +161,8 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}")
         handle = EventHandle(time, fn, args, kwargs)
         heapq.heappush(self._queue, _QueuedEvent(time, next(self._seq), handle))
+        _C_SCHEDULED.inc()
+        _G_QUEUE_DEPTH.set(len(self._queue))
         return handle
 
     def every(self, interval: float, fn: Callable[..., Any],
@@ -170,14 +189,17 @@ class Simulator:
             if until is not None and entry.time > until:
                 break
             heapq.heappop(self._queue)
+            _G_QUEUE_DEPTH.set(len(self._queue))
             handle = entry.handle
             if handle.cancelled:
+                _C_CANCELLED.inc()
                 continue
             self._now = entry.time
             for tracer in self._tracers:
                 tracer(self._now, handle)
             handle.fn(*handle.args, **handle.kwargs)
             self._events_executed += 1
+            _C_EXECUTED.inc()
             executed += 1
             if max_events is not None and executed >= max_events:
                 break
@@ -197,13 +219,16 @@ class Simulator:
         """Execute exactly one pending event.  Returns False when idle."""
         while self._queue:
             entry = heapq.heappop(self._queue)
+            _G_QUEUE_DEPTH.set(len(self._queue))
             if entry.handle.cancelled:
+                _C_CANCELLED.inc()
                 continue
             self._now = entry.time
             for tracer in self._tracers:
                 tracer(self._now, entry.handle)
             entry.handle.fn(*entry.handle.args, **entry.handle.kwargs)
             self._events_executed += 1
+            _C_EXECUTED.inc()
             return True
         return False
 

@@ -47,11 +47,34 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..telemetry import metrics, trace
 from .engine import PeriodicProcess, Simulator
 from .flows import Flow, FlowSet
 from .topology import Topology
 
 LinkKey = Tuple[str, str]
+
+# Cached process-wide telemetry (DESIGN.md "Telemetry"): one attribute
+# add per epoch / per pass; the steady-state fast path pays exactly two
+# counter increments and one flag test, nothing else.
+_MET = metrics()
+_TRACE = trace()
+_C_UPDATES = _MET.counter(
+    "fluid_updates_total", "fluid epochs processed (passes + reuses)")
+_C_PASSES = _MET.counter(
+    "fluid_allocation_passes_total", "actual max-min allocator runs")
+_C_FASTPATH_HITS = _MET.counter(
+    "fluid_fastpath_hits_total",
+    "epochs served by the dirty-flag steady-state fast path")
+_C_FASTPATH_MISSES = _MET.counter(
+    "fluid_fastpath_misses_total",
+    "epochs where changed inputs forced a real allocation pass")
+_C_FREEZE_ROUNDS = _MET.counter(
+    "fluid_freeze_rounds_total",
+    "progressive-filling rounds executed by the optimized allocator")
+_C_STALL_FREEZES = _MET.counter(
+    "fluid_stall_freezes_total",
+    "rounds resolved by the numerical stall guard")
 
 #: Saturation test threshold, as a *fraction of link capacity*.  An
 #: absolute epsilon mis-scales against bps-magnitude capacities
@@ -144,7 +167,9 @@ def max_min_allocate(topo: Topology, flows: List[Flow]) -> AllocationResult:
                  for key in link_weight}
     sat_eps = {key: capacities[key] * SATURATION_EPS for key in link_weight}
 
+    rounds = 0
     while unfrozen:
+        rounds += 1
         # Largest uniform per-unit-weight increment before a constraint
         # binds: link headroom per unfrozen weight, or flow headroom.
         delta = float("inf")
@@ -185,6 +210,7 @@ def max_min_allocate(topo: Topology, flows: List[Flow]) -> AllocationResult:
                                          members, unfrozen)
             if not newly_frozen:
                 break
+            _C_STALL_FREEZES.inc()
         for fid in newly_frozen:
             flow, links = unfrozen.pop(fid)
             for key in links:
@@ -193,6 +219,8 @@ def max_min_allocate(topo: Topology, flows: List[Flow]) -> AllocationResult:
                 if link_count[key] == 0:
                     # Pin the total so float residue cannot linger.
                     link_weight[key] = 0.0
+
+    _C_FREEZE_ROUNDS.inc(rounds)
 
     for flow, links in elastic:
         granted = min(rate[flow.flow_id], flow.effective_demand_bps)
@@ -393,6 +421,7 @@ class FluidNetwork:
               else now - self._last_update)
         self._last_update = now
         self.updates += 1
+        _C_UPDATES.inc()
 
         active = self.flows.active(now)
         active_ids = frozenset(f.flow_id for f in active)
@@ -404,11 +433,21 @@ class FluidNetwork:
                 or active_ids != self._active_ids):
             result = max_min_allocate(self.topo, active)
             self.allocation_passes += 1
+            _C_PASSES.inc()
+            _C_FASTPATH_MISSES.inc()
             self._seen_topo_version = topo_version
             self._seen_flow_version = flow_version
             self._active_ids = active_ids
+            if _TRACE.enabled:
+                _TRACE.emit(
+                    "allocation_pass", sim_time=now,
+                    active_flows=len(active),
+                    topo_version=topo_version,
+                    flow_version=flow_version,
+                    pass_number=self.allocation_passes)
         else:
             result = self.last_result
+            _C_FASTPATH_HITS.inc()
 
         # Smooth elastic rates toward their allocation; account delivery.
         alpha = 1.0 if self.tcp_tau <= 0 or dt <= 0 else \

@@ -22,13 +22,30 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, Optional
+from typing import TYPE_CHECKING, Deque
 
+from ..telemetry import metrics
 from .engine import Simulator
-from .packet import Packet
+from .packet import Packet, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
+
+# Mode probes share links with attack traffic, so the link layer is the
+# one place their loss is observable — the protocol layer only counts
+# sends and receives (see core/mode_protocol.py).
+_C_PACKETS_DROPPED = metrics().counter(
+    "link_packets_dropped_total", "packet-level drops across all links",
+    labelnames=("reason",))
+_C_MODE_PROBES_LOST = metrics().counter(
+    "mode_probes_lost_total",
+    "MODE_CHANGE probes dropped in flight (queue/congestion/down)")
+
+
+def _count_drop(packet: Packet, reason: str) -> None:
+    _C_PACKETS_DROPPED.labels(reason).inc()
+    if packet.kind == PacketKind.MODE_CHANGE:
+        _C_MODE_PROBES_LOST.inc()
 
 
 @dataclass
@@ -168,15 +185,18 @@ class Link:
         if not self.up:
             packet.mark_dropped("link_down")
             self.stats.packets_dropped_down += 1
+            _count_drop(packet, "link_down")
             return False
         loss = self.congestion_loss_rate
         if loss > 0 and self.sim.rng.random() < loss:
             packet.mark_dropped("congestion")
             self.stats.packets_dropped_congestion += 1
+            _count_drop(packet, "congestion")
             return False
         if self._queued_bytes + packet.size_bytes > self.queue_bytes:
             packet.mark_dropped("queue_overflow")
             self.stats.packets_dropped_queue += 1
+            _count_drop(packet, "queue_overflow")
             return False
         self._queue.append(packet)
         self._queued_bytes += packet.size_bytes
@@ -204,5 +224,6 @@ class Link:
         if not self.up:
             packet.mark_dropped("link_down")
             self.stats.packets_dropped_down += 1
+            _count_drop(packet, "link_down")
             return
         self.dst.receive(packet, from_link=self)

@@ -5,6 +5,13 @@ sampled over time; the ablations additionally record link utilizations and
 per-switch mode occupancy.  :class:`Monitor` samples on a fixed period and
 keeps everything as plain (time, value) series that experiments print or
 assert on.
+
+Gauges are one system with the telemetry registry: every series a monitor
+samples is mirrored into the ``monitor_gauge`` family of the process-wide
+:class:`~repro.telemetry.MetricsRegistry` (labeled by series name), so a
+``--metrics`` snapshot carries the latest sampled value of everything a
+monitor watches without a second registration step.  The full history
+stays in :class:`TimeSeries`; the registry holds the current value.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import Gauge, MetricsRegistry, metrics
 from .engine import PeriodicProcess
 from .fluid import FluidNetwork
 
@@ -60,23 +68,36 @@ class TimeSeries:
 
 
 class Monitor:
-    """Samples registered gauges every ``period`` seconds of sim time."""
+    """Samples registered gauges every ``period`` seconds of sim time.
 
-    def __init__(self, fluid: FluidNetwork, period: float = 0.5):
+    ``registry`` is where sampled values are mirrored as labeled gauges;
+    it defaults to the process-wide telemetry registry.  Names stay
+    unique per monitor (re-registering a name is an error even across
+    ``stop()``/``start()`` cycles — the series object is the identity);
+    two monitors may watch the same series name, in which case they share
+    one registry gauge and the freshest sample wins.
+    """
+
+    def __init__(self, fluid: FluidNetwork, period: float = 0.5,
+                 registry: Optional[MetricsRegistry] = None):
         if period <= 0:
             raise ValueError("monitor period must be positive")
         self.fluid = fluid
         self.sim = fluid.sim
         self.period = period
+        self.registry = registry if registry is not None else metrics()
         self.series: Dict[str, TimeSeries] = {}
-        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._gauges: Dict[str, Tuple[Callable[[], float], Gauge]] = {}
         self._process: Optional[PeriodicProcess] = None
 
     # ------------------------------------------------------------------
     def add_gauge(self, name: str, fn: Callable[[], float]) -> TimeSeries:
         if name in self._gauges:
             raise ValueError(f"gauge {name!r} already registered")
-        self._gauges[name] = fn
+        mirror = self.registry.gauge(
+            "monitor_gauge", "latest sampled value of each monitor series",
+            labelnames=("series",)).labels(name)
+        self._gauges[name] = (fn, mirror)
         self.series[name] = TimeSeries(name)
         return self.series[name]
 
@@ -107,8 +128,10 @@ class Monitor:
 
     def sample(self) -> None:
         now = self.sim.now
-        for name, fn in self._gauges.items():
-            self.series[name].record(now, fn())
+        for name, (fn, mirror) in self._gauges.items():
+            value = fn()
+            self.series[name].record(now, value)
+            mirror.set(value)
 
     def get(self, name: str) -> TimeSeries:
         try:

@@ -61,7 +61,7 @@ class Host(Node):
     Hosts do not forward transit traffic; everything they originate goes to
     their default gateway switch.  Received packets are counted per kind
     and dispatched to registered callbacks (the traceroute client in
-    :mod:`repro.netsim.tracing` registers one for ICMP).
+    :mod:`repro.netsim.traceroute` registers one for ICMP).
     """
 
     def __init__(self, sim: Simulator, name: str,

@@ -9,7 +9,7 @@ streams through the switch pipelines, and meters measuring what arrives.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .engine import PeriodicProcess, Simulator

@@ -1,0 +1,319 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+The registry is the aggregate half of the telemetry subsystem (the
+:mod:`~repro.telemetry.trace` module is the per-event half).  It is
+deliberately minimal — a process-local, dependency-free subset of the
+Prometheus client model — because its increments sit on the simulator's
+hottest paths (the fluid allocator runs every 10 ms of simulated time).
+
+Overhead budget (see DESIGN.md "Telemetry"):
+
+* ``Counter.inc`` / ``Gauge.set`` are one attribute add/store; callers on
+  hot paths cache the metric (or labeled child) object once, so no dict
+  lookup happens per event.
+* Labeled children are created on first :meth:`~Metric.labels` call and
+  cached by the caller; ``labels()`` itself is not hot-path safe.
+* Snapshots and JSON export walk the registry only when explicitly
+  requested (end of run, ``--metrics`` flag, benchmark teardown).
+
+Instrumented modules use the process-wide default registry from
+:func:`repro.telemetry.metrics`; isolated registries exist for tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+LabelValues = Tuple[str, ...]
+
+#: Default histogram buckets (seconds-scale: micro to tens of seconds).
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0,
+                   10.0, 30.0)
+
+
+class MetricError(ValueError):
+    """Raised on metric misuse (name clash, wrong label set, ...)."""
+
+
+class Metric:
+    """Base of all metric families.
+
+    A family without ``labelnames`` is used directly (``counter.inc()``);
+    with labelnames, per-label-value children are obtained via
+    :meth:`labels` and used the same way.
+    """
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = "",
+                 labelnames: Iterable[str] = ()):
+        self.name = name
+        self.description = description
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._children: Dict[LabelValues, "Metric"] = {}
+
+    # ------------------------------------------------------------------
+    def labels(self, *values: str, **kw: str) -> "Metric":
+        """Get (or create) the child for one label-value combination."""
+        if kw:
+            if values:
+                raise MetricError(
+                    f"{self.name}: pass label values positionally or by "
+                    f"keyword, not both")
+            try:
+                values = tuple(str(kw[name]) for name in self.labelnames)
+            except KeyError as exc:
+                raise MetricError(
+                    f"{self.name}: missing label {exc.args[0]!r}; "
+                    f"expected {self.labelnames}") from None
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected {len(self.labelnames)} label "
+                f"values {self.labelnames}, got {len(values)}")
+        child = self._children.get(values)
+        if child is None:
+            child = self._make_child()
+            self._children[values] = child
+        return child
+
+    def _make_child(self) -> "Metric":
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero this family's value and every child's, in place (cached
+        references held by instrumented code stay valid)."""
+        self._reset_value()
+        for child in self._children.values():
+            child._reset_value()
+
+    def _reset_value(self) -> None:
+        raise NotImplementedError
+
+    def snapshot(self):
+        """JSON-serializable view of this family."""
+        data = {"kind": self.kind, "value": self._snap_value()}
+        if self.description:
+            data["description"] = self.description
+        if self.labelnames:
+            data["labels"] = {
+                ",".join(values): child._snap_value()
+                for values, child in sorted(self._children.items())}
+        return data
+
+    def _snap_value(self):
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str = "", description: str = "",
+                 labelnames: Iterable[str] = ()):
+        super().__init__(name, description, labelnames)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name)
+
+    def _reset_value(self) -> None:
+        self.value = 0.0
+
+    def _snap_value(self) -> float:
+        return self.value
+
+
+class Gauge(Metric):
+    """A value that can go up and down; optionally pulled from a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str = "", description: str = "",
+                 labelnames: Iterable[str] = ()):
+        super().__init__(name, description, labelnames)
+        self.value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_function(self, fn: Optional[Callable[[], float]]) -> None:
+        """Pull the value from ``fn`` at snapshot time instead."""
+        self._fn = fn
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name)
+
+    def _reset_value(self) -> None:
+        self.value = 0.0
+        self._fn = None
+
+    def _snap_value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self.value
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram of observed values."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str = "", description: str = "",
+                 labelnames: Iterable[str] = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, description, labelnames)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise MetricError(f"{name}: histogram needs >= 1 bucket bound")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, buckets=self.buckets)
+
+    def _reset_value(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def _snap_value(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{bound:g}": cumulative
+                   for bound, cumulative in zip(
+                       self.buckets, _cumulate(self.counts[:-1]))},
+                "inf": self.count,
+            },
+        }
+
+
+def _cumulate(counts: Iterable[int]) -> List[int]:
+    total = 0
+    out = []
+    for count in counts:
+        total += count
+        out.append(total)
+    return out
+
+
+class MetricsRegistry:
+    """Holds metric families by name; get-or-create and snapshot/export.
+
+    Family constructors are idempotent: asking twice for the same name
+    returns the same object, so instrumented modules can cache metrics at
+    import time while tests re-request them by name.  Re-requesting with
+    a *different* type or label set is an error — silent divergence
+    between two call sites is exactly what a registry exists to prevent.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, description: str = "",
+                labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, description, labelnames)
+
+    def gauge(self, name: str, description: str = "",
+              labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, description, labelnames)
+
+    def histogram(self, name: str, description: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = Histogram(name, description, labelnames,
+                                       buckets=buckets)
+                    self._metrics[name] = metric
+        self._check(metric, Histogram, name, labelnames)
+        return metric  # type: ignore[return-value]
+
+    def _get_or_create(self, cls, name: str, description: str,
+                       labelnames: Iterable[str]) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, description, labelnames)
+                    self._metrics[name] = metric
+        self._check(metric, cls, name, labelnames)
+        return metric
+
+    @staticmethod
+    def _check(metric: Metric, cls, name: str,
+               labelnames: Iterable[str]) -> None:
+        if not isinstance(metric, cls):
+            raise MetricError(
+                f"{name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}")
+        if tuple(labelnames) != metric.labelnames:
+            raise MetricError(
+                f"{name!r} already registered with labels "
+                f"{metric.labelnames}, not {tuple(labelnames)}")
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise KeyError(f"no metric named {name!r}; have "
+                           f"{sorted(self._metrics)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric in place.  Cached metric objects held by
+        instrumented modules keep working and stay registered."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-serializable dict of every family's current state."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")

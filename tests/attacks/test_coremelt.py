@@ -4,10 +4,10 @@ import pytest
 
 from repro.attacks.coremelt import CoremeltAttacker
 from repro.boosters import build_figure2_defense
-from repro.netsim import (FlowSet, FluidNetwork, GBPS, Simulator,
-                          figure2_topology, install_fast_reroute_alternates,
-                          install_flow_route, install_host_routes,
-                          install_switch_routes, make_flow)
+from repro.netsim import (FlowSet, FluidNetwork, GBPS, figure2_topology,
+                          install_fast_reroute_alternates, install_flow_route,
+                          install_host_routes, install_switch_routes,
+                          make_flow)
 
 
 @pytest.fixture

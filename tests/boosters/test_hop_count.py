@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.boosters import (HopCountFilterBooster, INITIAL_TTLS,
-                            infer_hop_count)
+from repro.boosters import HopCountFilterBooster, infer_hop_count
 from repro.core import ModeEventBus, ModeRegistry, install_mode_agents
 from repro.netsim import Packet
 

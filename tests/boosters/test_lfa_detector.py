@@ -5,9 +5,8 @@ import pytest
 from repro.boosters import (LFA_MITIGATION_MODE, LfaDetectorBooster,
                             LfaDetectorProgram, build_figure2_defense)
 from repro.dataplane import TcpState
-from repro.netsim import (FlowSet, FluidNetwork, GBPS, Packet, Path,
-                          TcpFlags, install_flow_route, make_flow,
-                          shortest_path)
+from repro.netsim import (GBPS, Packet, Path, TcpFlags, install_flow_route,
+                          make_flow)
 
 
 class TestPacketPath:

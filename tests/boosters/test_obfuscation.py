@@ -1,6 +1,5 @@
 """Tests for the NetHide-style topology obfuscation booster."""
 
-import pytest
 
 from repro.netsim import Path, TracerouteClient, default_path_for, \
     install_flow_route

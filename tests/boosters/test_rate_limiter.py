@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.boosters import (GlobalRateLimiterBooster, TENANT_HEADER,
-                            build_figure2_defense)
+from repro.boosters import GlobalRateLimiterBooster, TENANT_HEADER
 from repro.core import FastFlexController
 from repro.netsim import FlowSet, Packet
 

@@ -1,11 +1,8 @@
 """Tests for the Hula-style congestion-aware rerouting booster."""
 
-import pytest
 
 from repro.boosters import CongestionRerouteBooster, HulaProbeProgram
-from repro.core import ModeEventBus, ModeRegistry, ModeSpec
-from repro.netsim import (GBPS, FlowSet, FluidNetwork, Packet, PacketKind,
-                          Path, Protocol, make_flow)
+from repro.netsim import Packet, PacketKind, Protocol
 from tests.boosters.test_lfa_detector import (add_bot_flood,
                                               attacked_deployment)
 

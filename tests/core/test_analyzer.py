@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.boosters import (flow_table_ppm, logic_ppm, parser_ppm,
-                            sketch_ppm)
+from repro.boosters import logic_ppm, parser_ppm, sketch_ppm
 from repro.core import DataflowGraph, PpmRole, ProgramAnalyzer
 from repro.dataplane import ResourceVector
 

@@ -118,8 +118,7 @@ class TestGatedProgram:
         assert gate.hits == 1
 
     def test_gated_by_mode_table(self, fig2, sim):
-        from repro.core import (ModeEventBus, ModeRegistry, ModeSpec,
-                                install_mode_agents)
+        from repro.core import ModeRegistry, ModeSpec, install_mode_agents
         from repro.netsim import Packet
         registry = ModeRegistry()
         registry.register(ModeSpec.of("on_mode", "x",

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.boosters import flow_table_ppm, parser_ppm, sketch_ppm
-from repro.core import (EquivalenceClasses, PpmKind, equivalent,
-                        merge_parsers, parser_covers)
+from repro.core import (EquivalenceClasses, equivalent, merge_parsers,
+                        parser_covers)
 
 
 class TestEquivalent:

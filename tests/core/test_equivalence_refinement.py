@@ -7,7 +7,6 @@ declarations against random workloads and assert observably identical
 outputs — the dynamic counterpart of the [24]-style static equivalence.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.boosters import bloom_ppm, hashpipe_ppm, sketch_ppm

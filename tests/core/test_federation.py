@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.core.federation import (FederationPeer, ThreatAdvisory,
-                                   apply_watchlist, hash_source)
-from repro.netsim import (FlowSet, FluidNetwork, Path, Simulator,
-                          figure2_topology, make_flow)
+from repro.core.federation import FederationPeer, apply_watchlist, hash_source
+from repro.netsim import (FlowSet, FluidNetwork, Path, figure2_topology,
+                          make_flow)
 
 
 @pytest.fixture

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import (DEFAULT_MODE, ModeEventBus, ModeRegistry, ModeSpec,
                         StabilityGuard, install_mode_agents)
-from repro.netsim import Simulator, abilene_like, figure2_topology
+from repro.netsim import abilene_like, figure2_topology
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for the PPM IR and signatures."""
 
-import pytest
 
 from repro.core import PpmKind, PpmRole, PpmSpec
 from repro.dataplane import ResourceVector

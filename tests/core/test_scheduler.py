@@ -1,6 +1,5 @@
 """Tests for the placement scheduler (Figure 1c)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.boosters import logic_ppm, parser_ppm, sketch_ppm

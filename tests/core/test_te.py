@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import (greedy_min_max_te, link_loads,
                         max_link_utilization, rebalance_excluding_links)
-from repro.netsim import GBPS, FlowSet, make_flow, shortest_path
+from repro.netsim import GBPS, make_flow, shortest_path
 
 
 class TestGreedyMinMax:

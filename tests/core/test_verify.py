@@ -1,8 +1,7 @@
 """Tests for the §6 booster verifier."""
 
-import pytest
 
-from repro.boosters import (LfaDetectorBooster, logic_ppm, parser_ppm)
+from repro.boosters import logic_ppm, parser_ppm
 from repro.core import Booster, DataflowGraph, ModeSpec, PpmRole
 from repro.core.verify import (BoosterVerifier, Severity,
                                VerificationReport, verify_catalog)

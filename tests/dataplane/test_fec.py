@@ -5,8 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.dataplane import (FecDecoder, FecEncoder, FecSymbol,
-                             loss_survival_probability)
+from repro.dataplane import FecDecoder, FecEncoder, loss_survival_probability
 
 words_strategy = st.lists(st.integers(0, 2**32 - 1), max_size=40)
 

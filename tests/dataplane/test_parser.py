@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dataplane import ROUTING_PARSER, HeaderParser
-from repro.netsim import Packet, Protocol
+from repro.netsim import Packet
 
 
 class TestParse:

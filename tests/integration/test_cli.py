@@ -1,5 +1,7 @@
 """Smoke tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -28,6 +30,43 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure9"])
+
+
+class TestTelemetryFlags:
+    def test_trace_and_metrics_files_written(self, tmp_path, capsys):
+        trace_path = tmp_path / "f3.jsonl"
+        metrics_path = tmp_path / "f3.json"
+        assert main(["figure3", "--duration", "12", "--seed", "3",
+                     "--trace", str(trace_path),
+                     "--metrics", str(metrics_path)]) == 0
+        err = capsys.readouterr().err
+        assert "[telemetry]" in err
+
+        events = [json.loads(line)
+                  for line in trace_path.read_text().splitlines()]
+        assert events
+        kinds = {e["kind"] for e in events}
+        assert "mode_transition" in kinds
+        assert "allocation_pass" in kinds
+        assert all("sim_time" in e and "wall_time" in e for e in events)
+        # experiment context tag is merged into every event of each run
+        assert {e.get("system") for e in events} <= {"baseline_sdn",
+                                                     "fastflex"}
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["fluid_fastpath_hits_total"]["value"] > 0
+        assert snapshot["mode_probes_sent_total"]["value"] > 0
+
+    def test_trace_disabled_after_run(self, tmp_path):
+        from repro import telemetry
+        assert main(["figure1", "--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert telemetry.trace().enabled is False
+
+    def test_metrics_without_trace(self, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        assert main(["figure1", "--metrics", str(metrics_path)]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot  # figure1 is analytic; snapshot may be small
 
 
 class TestControllerVerificationGate:

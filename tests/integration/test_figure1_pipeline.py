@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.experiments.figure1 import (booster_suite, run_merge,
-                                       run_placement, run_scaling_demo)
+from repro.experiments.figure1 import (run_merge, run_placement,
+                                       run_scaling_demo)
 
 
 class TestMerge:

@@ -12,8 +12,8 @@ import pytest
 
 from repro.core import (ModeEventBus, ModeRegistry, ModeSpec,
                         StateTransferService, install_mode_agents)
-from repro.netsim import (GBPS, LegacySwitchError, Packet, Simulator,
-                          SwitchProgram, Topology, install_host_routes,
+from repro.netsim import (GBPS, LegacySwitchError, Packet, SwitchProgram,
+                          Topology, install_host_routes,
                           install_switch_routes)
 
 

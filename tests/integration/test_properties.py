@@ -4,7 +4,6 @@ These exercise whole subsystems together on generated topologies —
 the invariants that must hold regardless of shape or seed.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (ModeEventBus, ModeRegistry, ModeSpec,

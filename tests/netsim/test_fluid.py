@@ -4,8 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netsim import (FlowSet, FluidNetwork, Path, Simulator, Topology,
-                          make_flow, max_min_allocate,
-                          max_min_allocate_reference)
+                          make_flow, max_min_allocate)
 from repro.netsim.fluid import _stall_freeze
 
 

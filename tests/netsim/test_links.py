@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import Host, Link, Packet, Simulator
+from repro.netsim import Host, Link, Packet
 
 
 def make_pair(sim, capacity=1e9, delay=0.001, queue_bytes=3000):

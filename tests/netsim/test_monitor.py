@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.netsim import (FlowSet, FluidNetwork, Monitor, Path, Simulator,
-                          TimeSeries, Topology, make_flow)
+from repro.netsim import (FlowSet, FluidNetwork, Monitor, Path, TimeSeries,
+                          Topology, make_flow)
 
 
 @pytest.fixture
@@ -98,3 +98,74 @@ class TestMonitor:
         sim.schedule(1.1, monitor.stop)
         sim.run(until=3.0)
         assert len(monitor.get("x")) == 3
+
+
+class TestMonitorEdgeCases:
+    def test_duplicate_rejected_across_stop_start_cycles(self, small_fluid,
+                                                         sim):
+        monitor = Monitor(small_fluid, period=0.5)
+        monitor.add_gauge("x", lambda: 1.0)
+        monitor.start()
+        sim.run(until=0.6)
+        monitor.stop()
+        # The name is the series identity: a stop()/start() cycle must not
+        # reopen it for re-registration (that would silently fork history).
+        with pytest.raises(ValueError):
+            monitor.add_gauge("x", lambda: 2.0)
+        monitor.start()
+        with pytest.raises(ValueError):
+            monitor.add_gauge("x", lambda: 3.0)
+        sim.run(until=1.1)
+        # ...and the original callable keeps feeding the original series.
+        assert all(v == 1.0 for v in monitor.get("x").values)
+
+    def test_new_names_allowed_after_restart(self, small_fluid, sim):
+        monitor = Monitor(small_fluid, period=0.5)
+        monitor.add_gauge("x", lambda: 1.0)
+        monitor.start()
+        sim.run(until=0.6)
+        monitor.stop()
+        monitor.add_gauge("y", lambda: 2.0)
+        monitor.start()
+        sim.run(until=1.7)
+        # restart samples immediately: t = 0.6, 1.1, 1.6
+        assert monitor.get("y").values == [2.0, 2.0, 2.0]
+        assert len(monitor.get("x")) == 5
+
+    def test_repeated_stop_is_idempotent(self, small_fluid, sim):
+        monitor = Monitor(small_fluid, period=0.5)
+        monitor.add_gauge("x", lambda: 1.0)
+        monitor.start()
+        sim.run(until=0.6)
+        monitor.stop()
+        monitor.stop()  # no process to stop: must be a no-op
+        sim.run(until=2.0)
+        assert len(monitor.get("x")) == 2
+
+
+class TestWindowBoundaries:
+    """window() is half-open [t0, t1): t0 included, t1 excluded."""
+
+    def test_sample_exactly_at_t0_included(self):
+        series = TimeSeries("x")
+        series.record(1.0, 10.0)
+        assert series.window(1.0, 2.0) == [(1.0, 10.0)]
+
+    def test_sample_exactly_at_t1_excluded(self):
+        series = TimeSeries("x")
+        series.record(2.0, 20.0)
+        assert series.window(1.0, 2.0) == []
+
+    def test_degenerate_window_empty(self):
+        series = TimeSeries("x")
+        series.record(1.0, 10.0)
+        assert series.window(1.0, 1.0) == []
+
+    def test_mean_over_respects_boundaries(self):
+        series = TimeSeries("x")
+        for t, v in ((0.0, 1.0), (1.0, 3.0), (2.0, 100.0)):
+            series.record(t, v)
+        # [0, 2) picks up t=0 and t=1 but not t=2.
+        assert series.mean_over(0.0, 2.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            series.mean_over(2.0, 2.0)

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.netsim import (Host, Link, Packet, PacketKind, Simulator,
-                          Topology)
+from repro.netsim import Host, Link, Packet, PacketKind, Topology
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for packets, flow keys, and header machinery."""
 
-import pytest
 
 from repro.netsim import (FlowKey, Packet, PacketKind, Protocol, TcpFlags,
                           make_probe)

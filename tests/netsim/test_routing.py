@@ -6,8 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.netsim import (GBPS, NoRouteError, Packet, Path, Simulator,
                           all_shortest_paths, clear_flow_route,
                           default_path_for, edge_disjoint_paths,
-                          figure2_topology, install_flow_route,
-                          install_host_routes, install_switch_routes,
+                          install_flow_route, install_host_routes,
                           k_shortest_paths, random_topology, shortest_path)
 
 

@@ -4,8 +4,7 @@ import pytest
 
 from repro.dataplane import ResourceExhausted, ResourceVector
 from repro.netsim import (Consume, Drop, Forward, Packet, PacketKind,
-                          ProgrammableSwitch, Simulator, SwitchProgram,
-                          Topology)
+                          SwitchProgram, Topology)
 
 
 class Recorder(SwitchProgram):

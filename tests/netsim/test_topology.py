@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import (GBPS, Simulator, Topology, abilene_like, fat_tree,
+from repro.netsim import (Simulator, Topology, abilene_like, fat_tree,
                           figure2_topology, random_topology)
 
 

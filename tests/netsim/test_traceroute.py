@@ -1,6 +1,5 @@
-"""Tests for the traceroute client."""
+"""Tests for the traceroute client (renamed from netsim.tracing)."""
 
-import pytest
 
 from repro.netsim import TracerouteClient
 
@@ -70,3 +69,18 @@ class TestTraceroute:
         assert len(results) == 2
         assert all(r.reached for r in results)
         assert {r.src for r in results} == {"bot0", "client0"}
+
+
+class TestDeprecatedTracingAlias:
+    def test_old_module_still_imports_with_warning(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.netsim.tracing", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = importlib.import_module("repro.netsim.tracing")
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert legacy.TracerouteClient is TracerouteClient

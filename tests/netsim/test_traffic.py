@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.netsim import (GBPS, Simulator, TrafficMatrix,
-                          client_server_flows, figure2_topology,
-                          gravity_matrix, make_flow,
+from repro.netsim import (GBPS, TrafficMatrix, client_server_flows,
+                          figure2_topology, gravity_matrix, make_flow,
                           poisson_flow_arrivals, uniform_matrix)
 
 

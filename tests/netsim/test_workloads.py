@@ -1,16 +1,14 @@
 """Tests for heavy-tailed / diurnal workload generation."""
 
-import math
 import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.netsim import FlowSet, FluidNetwork, Path, Simulator, Topology, \
-    make_flow
-from repro.netsim.workloads import (DemandModulator, EnterpriseWorkload,
-                                    diurnal_profile, elephant_mice_split,
-                                    enterprise_workload, pareto_sizes)
+from repro.netsim import FlowSet, FluidNetwork, Path, Topology, make_flow
+from repro.netsim.workloads import (DemandModulator, diurnal_profile,
+                                    elephant_mice_split, enterprise_workload,
+                                    pareto_sizes)
 
 
 class TestParetoSizes:

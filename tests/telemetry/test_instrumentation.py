@@ -1,0 +1,171 @@
+"""End-to-end checks that the instrumented layers actually report.
+
+The default registry is process-wide and shared across the whole test
+session, so every assertion here is on *deltas*, never absolutes.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.netsim import (FlowSet, FluidNetwork, Monitor, Path, Simulator,
+                          Topology, make_flow)
+
+
+def counter_value(name, labels=None):
+    registry = telemetry.metrics()
+    if name not in registry:
+        return 0.0
+    metric = registry.get(name)
+    if labels:
+        metric = metric.labels(*labels)
+    return metric.value
+
+
+@pytest.fixture
+def traced():
+    """Enable the default trace for one test, restoring state after."""
+    trace = telemetry.trace()
+    events_before = len(trace.events)
+    was_enabled = trace.enabled
+    trace.enable()
+    yield trace
+    trace.enabled = was_enabled
+    del trace.events[events_before:]
+
+
+def build_one_link_fluid(sim):
+    topo = Topology(sim)
+    topo.add_switch("s1")
+    topo.add_switch("s2")
+    topo.attach_host("h1", "s1")
+    topo.attach_host("h2", "s2")
+    topo.add_duplex_link("s1", "s2", 1e9, 0.001)
+    flows = FlowSet()
+    flows.add(make_flow("h1", "h2", 0.5e9,
+                        path=Path.of(["h1", "s1", "s2", "h2"])))
+    return FluidNetwork(topo, flows, tcp_tau=0.0), flows
+
+
+class TestEngineCounters:
+    def test_scheduled_and_executed_counted(self):
+        scheduled = counter_value("sim_events_scheduled_total")
+        executed = counter_value("sim_events_executed_total")
+        cancelled = counter_value("sim_events_cancelled_total")
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None).cancel()
+        sim.run()
+        assert counter_value("sim_events_scheduled_total") == scheduled + 2
+        assert counter_value("sim_events_executed_total") == executed + 1
+        assert counter_value("sim_events_cancelled_total") == cancelled + 1
+
+
+class TestFluidCounters:
+    def test_fastpath_hits_and_misses(self):
+        sim = Simulator(seed=1)
+        fluid, _ = build_one_link_fluid(sim)
+        hits = counter_value("fluid_fastpath_hits_total")
+        misses = counter_value("fluid_fastpath_misses_total")
+        passes = counter_value("fluid_allocation_passes_total")
+        rounds = counter_value("fluid_freeze_rounds_total")
+        fluid.update()          # first epoch: a real pass
+        fluid.update()          # unchanged inputs: fast path
+        fluid.update()
+        assert counter_value("fluid_allocation_passes_total") == passes + 1
+        assert counter_value("fluid_fastpath_misses_total") == misses + 1
+        assert counter_value("fluid_fastpath_hits_total") == hits + 2
+        assert counter_value("fluid_freeze_rounds_total") > rounds
+
+    def test_allocation_pass_traced(self, traced):
+        sim = Simulator(seed=1)
+        fluid, _ = build_one_link_fluid(sim)
+        before = len(traced.of_kind("allocation_pass"))
+        fluid.update()
+        fluid.update()  # fast path: no extra event
+        events = traced.of_kind("allocation_pass")
+        assert len(events) == before + 1
+        assert events[-1].fields["active_flows"] == 1
+
+
+class TestModeProtocolTelemetry:
+    def test_transitions_traced_with_cause(self, fig2, sim, traced):
+        from repro.core.mode_protocol import install_mode_agents
+        from repro.core.modes import ModeRegistry, ModeSpec
+
+        registry = ModeRegistry()
+        registry.register(ModeSpec.of("mit", "lfa", boosters_on=()))
+        probes_sent = counter_value("mode_probes_sent_total")
+        transitions = counter_value("mode_transitions_total",
+                                    labels=("local_detection",))
+        agents = install_mode_agents(fig2.topo, registry)
+        initiator = next(iter(agents.values()))
+        assert initiator.initiate("lfa", "mit")
+        sim.run(until=1.0)
+
+        assert counter_value("mode_probes_sent_total") > probes_sent
+        assert counter_value(
+            "mode_transitions_total",
+            labels=("local_detection",)) == transitions + 1
+        events = traced.of_kind("mode_transition")
+        causes = {e.fields["cause"] for e in events}
+        assert "local_detection" in causes
+        assert "probe" in causes
+        local = [e for e in events
+                 if e.fields["cause"] == "local_detection"][-1]
+        assert local.fields["new_mode"] == "mit"
+        assert local.sim_time == 0.0
+        probe_applied = [e for e in events if e.fields["cause"] == "probe"]
+        assert all(e.sim_time > 0 for e in probe_applied)
+
+
+class TestMonitorRegistryFold:
+    def test_sampled_value_mirrored_into_registry(self, sim):
+        fluid, _ = build_one_link_fluid(sim)
+        fluid.start()
+        monitor = Monitor(fluid, period=0.5)
+        monitor.add_gauge("const_seven", lambda: 7.0)
+        monitor.start()
+        sim.run(until=1.1)
+        family = telemetry.metrics().get("monitor_gauge")
+        assert family.labels("const_seven").value == 7.0
+
+    def test_isolated_registry_can_be_injected(self, sim):
+        fluid, _ = build_one_link_fluid(sim)
+        isolated = telemetry.MetricsRegistry()
+        monitor = Monitor(fluid, period=0.5, registry=isolated)
+        monitor.add_gauge("x", lambda: 3.0)
+        monitor.sample()
+        assert isolated.get("monitor_gauge").labels("x").value == 3.0
+
+
+class TestStateTransferTelemetry:
+    def test_success_counted_and_traced(self, fig2, sim, traced):
+        from repro.core.state_transfer import StateTransferService
+
+        service = StateTransferService(fig2.topo)
+        service.install_agents()
+        ok = counter_value("state_transfers_total", labels=("success",))
+        done = []
+        service.send("sL", "sR", {"x": 1}, on_complete=done.append)
+        sim.run(until=2.0)
+        assert done and done[0].success
+        assert counter_value("state_transfers_total",
+                             labels=("success",)) == ok + 1
+        events = traced.of_kind("state_transfer")
+        assert events and events[-1].fields["success"] is True
+        assert events[-1].sim_time > 0
+
+
+class TestReset:
+    def test_reset_zeroes_defaults_in_place(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert counter_value("sim_events_executed_total") > 0
+        telemetry.reset()
+        assert counter_value("sim_events_executed_total") == 0
+        # Instrumentation cached before the reset still lands.
+        sim2 = Simulator()
+        sim2.schedule(0.0, lambda: None)
+        sim2.run()
+        assert counter_value("sim_events_executed_total") == 1

@@ -1,0 +1,51 @@
+"""Tests for phase timers."""
+
+import time
+
+from repro.telemetry import (EventTrace, MetricsRegistry, PHASE_METRIC,
+                             phase_histogram, phase_timer)
+
+
+class TestPhaseTimer:
+    def test_observes_into_labeled_histogram(self):
+        registry = MetricsRegistry()
+        with phase_timer("work", registry=registry) as timing:
+            time.sleep(0.002)
+        assert timing.elapsed >= 0.002
+        child = phase_histogram(registry).labels("work")
+        assert child.count == 1
+        assert child.sum >= 0.002
+
+    def test_observes_even_when_block_raises(self):
+        registry = MetricsRegistry()
+        try:
+            with phase_timer("explode", registry=registry):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert phase_histogram(registry).labels("explode").count == 1
+
+    def test_emits_trace_event_when_enabled(self):
+        registry = MetricsRegistry()
+        trace = EventTrace(enabled=True)
+        with phase_timer("p", registry=registry, trace=trace, sim_time=3.0):
+            pass
+        (event,) = trace.of_kind("phase")
+        assert event.sim_time == 3.0
+        assert event.fields["phase"] == "p"
+        assert event.fields["elapsed_s"] >= 0
+
+    def test_so_far_ticks_inside_block(self):
+        registry = MetricsRegistry()
+        with phase_timer("p", registry=registry) as timing:
+            time.sleep(0.001)
+            assert timing.so_far() >= 0.001
+
+    def test_default_registry_used_when_omitted(self):
+        from repro import telemetry
+        before = phase_histogram(telemetry.metrics()).labels("default-reg").count
+        with phase_timer("default-reg"):
+            pass
+        after = phase_histogram(telemetry.metrics()).labels("default-reg").count
+        assert after == before + 1
+        assert PHASE_METRIC in telemetry.metrics()

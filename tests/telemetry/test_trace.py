@@ -1,0 +1,94 @@
+"""Tests for the structured event trace."""
+
+import json
+
+import pytest
+
+from repro.telemetry import EventTrace
+from repro.telemetry.trace import DEFAULT_CAPACITY
+
+
+class TestEmit:
+    def test_disabled_trace_records_nothing(self):
+        trace = EventTrace()
+        trace.emit("x", sim_time=1.0, a=1)
+        assert len(trace) == 0
+
+    def test_enabled_trace_records_kind_and_clocks(self):
+        trace = EventTrace(enabled=True)
+        trace.emit("mode_transition", sim_time=2.5, switch="s1")
+        (event,) = list(trace)
+        assert event.kind == "mode_transition"
+        assert event.sim_time == 2.5
+        assert event.wall_time > 0
+        assert event.fields == {"switch": "s1"}
+
+    def test_context_merged_into_events(self):
+        trace = EventTrace(enabled=True)
+        trace.set_context(system="fastflex")
+        trace.emit("x", sim_time=0.0, a=1)
+        trace.clear_context("system")
+        trace.emit("x", sim_time=1.0, a=2)
+        first, second = trace.events
+        assert first.fields == {"system": "fastflex", "a": 1}
+        assert second.fields == {"a": 2}
+
+    def test_event_fields_override_context(self):
+        trace = EventTrace(enabled=True)
+        trace.set_context(system="outer")
+        trace.emit("x", sim_time=0.0, system="inner")
+        assert trace.events[0].fields["system"] == "inner"
+
+    def test_capacity_bounds_memory(self):
+        trace = EventTrace(enabled=True, capacity=2)
+        for i in range(5):
+            trace.emit("x", sim_time=float(i))
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_default_capacity_sane(self):
+        assert EventTrace().capacity == DEFAULT_CAPACITY
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+
+class TestQueries:
+    def test_of_kind_and_kinds(self):
+        trace = EventTrace(enabled=True)
+        trace.emit("a", sim_time=0.0)
+        trace.emit("b", sim_time=1.0)
+        trace.emit("a", sim_time=2.0)
+        assert len(trace.of_kind("a")) == 2
+        assert trace.kinds() == {"a": 2, "b": 1}
+
+    def test_between_is_half_open(self):
+        trace = EventTrace(enabled=True)
+        for t in (0.0, 1.0, 2.0):
+            trace.emit("x", sim_time=t)
+        assert [e.sim_time for e in trace.between(1.0, 2.0)] == [1.0]
+
+
+class TestExport:
+    def test_jsonl_one_object_per_line(self, tmp_path):
+        trace = EventTrace(enabled=True)
+        trace.emit("a", sim_time=0.5, link=("s1", "s2"))
+        trace.emit("b", sim_time=1.5, flows={"x", "y"})
+        path = tmp_path / "trace.jsonl"
+        assert trace.write_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "a"
+        assert first["sim_time"] == 0.5
+        assert first["link"] == ["s1", "s2"]
+        # Non-JSON-native values degrade to something serializable.
+        assert sorted(json.loads(lines[1])["flows"]) == ["x", "y"]
+
+    def test_reset_clears_events_and_context(self):
+        trace = EventTrace(enabled=True)
+        trace.set_context(run="r1")
+        trace.emit("x", sim_time=0.0)
+        trace.reset()
+        assert len(trace) == 0
+        assert trace.context == {}
+        assert trace.enabled  # reset does not flip the switch
