@@ -7,9 +7,11 @@ in ``benchmark.extra_info`` for machine consumption.
 At session end this conftest writes ``BENCH_summary.json`` at the repo
 root: one entry per benchmark that ran (name, timing stats, extra_info)
 plus the contents of any standalone ``BENCH_*.json`` files the suites
-wrote themselves and a snapshot of the telemetry registry accumulated
-over the session.  CI and cross-PR comparisons read this one file
-instead of scraping pytest output.
+wrote themselves, the aggregates of any sweep-runner outputs
+(``BENCH_sweep_*.json``, folded under a dedicated ``sweeps`` key), and
+a snapshot of the telemetry registry accumulated over the session.  CI
+and cross-PR comparisons read this one file instead of scraping pytest
+output.
 """
 
 import json
@@ -45,12 +47,25 @@ def _benchmark_entries(config):
 def _standalone_records():
     records = {}
     for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
-        if path == SUMMARY_PATH:
+        if path == SUMMARY_PATH or path.name.startswith("BENCH_sweep_"):
             continue
         try:
             records[path.name] = json.loads(path.read_text())
         except (OSError, ValueError):
             records[path.name] = {"error": f"unreadable: {path.name}"}
+    return records
+
+
+def _sweep_records():
+    """Sweep-runner aggregates (multi-seed figure evidence), keyed by
+    sweep name: ``BENCH_sweep_figure3.json`` -> ``figure3``."""
+    records = {}
+    for path in sorted(REPO_ROOT.glob("BENCH_sweep_*.json")):
+        name = path.stem[len("BENCH_sweep_"):]
+        try:
+            records[name] = json.loads(path.read_text())
+        except (OSError, ValueError):
+            records[name] = {"error": f"unreadable: {path.name}"}
     return records
 
 
@@ -71,6 +86,7 @@ def pytest_sessionfinish(session, exitstatus):
         "exitstatus": int(exitstatus),
         "benchmarks": benchmarks,
         "standalone": _standalone_records(),
+        "sweeps": _sweep_records(),
         "telemetry": _telemetry_snapshot(),
     }
     SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True,
@@ -79,5 +95,5 @@ def pytest_sessionfinish(session, exitstatus):
     if reporter is not None:
         reporter.write_line(
             f"BENCH_summary: {len(benchmarks)} benchmark(s), "
-            f"{len(summary['standalone'])} standalone file(s) -> "
-            f"{SUMMARY_PATH.name}")
+            f"{len(summary['standalone'])} standalone file(s), "
+            f"{len(summary['sweeps'])} sweep(s) -> {SUMMARY_PATH.name}")

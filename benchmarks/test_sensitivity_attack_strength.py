@@ -2,13 +2,13 @@
 
 The Figure 3 gap should grow with attack strength: a weak flood barely
 hurts the baseline (TE absorbs it), while a strong one collapses it; the
-FastFlex line stays flat throughout.  This sweep varies the per-bot
-connection count and records both systems' means.
+FastFlex line stays flat throughout.  The strength axis runs as a grid
+through the sweep runner (one group per per-bot connection count), so
+the numbers come with checkpoints and per-group aggregation for free.
 """
 
 
-from repro.experiments.figure3 import (Figure3Config, run_baseline,
-                                       run_fastflex)
+from repro.sweep import SweepSpec, params_slug, run_sweep
 
 #: connections per bot: 6 bots x conns x 10 Mbps of offered attack load.
 STRENGTHS = {
@@ -18,30 +18,38 @@ STRENGTHS = {
 }
 
 
-def run_pair(connections_per_bot):
-    config = Figure3Config(duration_s=40.0,
-                           connections_per_bot=connections_per_bot)
-    baseline = run_baseline(config)
-    fastflex = run_fastflex(config)
-    return (baseline.mean_during_attack(config),
-            fastflex.mean_during_attack(config))
+def _group_key(conns):
+    return params_slug({"connections_per_bot": conns, "duration_s": 40.0})
 
 
-def test_strength_sweep(benchmark):
-    results = benchmark.pedantic(
-        lambda: {name: run_pair(conns)
-                 for name, conns in STRENGTHS.items()},
-        rounds=1, iterations=1)
+def test_strength_sweep(benchmark, tmp_path):
+    def sweep():
+        return run_sweep(
+            SweepSpec(experiment="figure3", seeds=[7],
+                      base_params={"duration_s": 40.0},
+                      grid={"connections_per_bot":
+                            list(STRENGTHS.values())},
+                      raw_seeds=True),
+            out_dir=tmp_path / "strength")
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert result.ok, result.errors
+    assert len(result.aggregates) == len(STRENGTHS)
+
+    means = {}
     print()
     print(f"{'attack':>8}{'offered':>10}{'baseline':>10}{'fastflex':>10}")
     for name, conns in STRENGTHS.items():
-        base, fast = results[name]
+        scalars = result.aggregates[_group_key(conns)]["scalars"]
+        base = scalars["baseline_mean_during_attack"]["mean"]
+        fast = scalars["fastflex_mean_during_attack"]["mean"]
+        means[name] = (base, fast)
         offered = 6 * conns * 10e6 / 1e9
         print(f"{name:>8}{offered:>9.1f}G{base:>10.1%}{fast:>10.1%}")
 
-    weak_base, weak_fast = results["weak"]
-    paper_base, paper_fast = results["paper"]
-    strong_base, strong_fast = results["strong"]
+    weak_base, weak_fast = means["weak"]
+    paper_base, paper_fast = means["paper"]
+    strong_base, strong_fast = means["strong"]
 
     # FastFlex flat across strengths.
     assert min(weak_fast, paper_fast, strong_fast) > 0.9
@@ -52,4 +60,4 @@ def test_strength_sweep(benchmark):
     assert strong_base <= paper_base + 0.05
     benchmark.extra_info.update(
         {name: {"baseline": round(b, 3), "fastflex": round(f, 3)}
-         for name, (b, f) in results.items()})
+         for name, (b, f) in means.items()})

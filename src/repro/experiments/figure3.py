@@ -31,7 +31,7 @@ from ..netsim.routing import (install_fast_reroute_alternates,
                               install_switch_routes)
 from ..netsim.topology import GBPS, FigureTwoNetwork, figure2_topology
 from ..netsim.engine import Simulator
-from ..telemetry import phase_timer, trace
+from ..telemetry import metrics, phase_timer, trace
 
 _TRACE = trace()
 
@@ -84,6 +84,12 @@ class Figure3Result:
     #: path — a direct view of how much reallocation the attack forced).
     fluid_updates: int = 0
     fluid_allocation_passes: int = 0
+    #: Per-system metrics-registry snapshot.  Populated by
+    #: :func:`run_both`, which isolates the process-wide registry around
+    #: each system's run so the two systems' counters never conflate;
+    #: empty when ``run_baseline`` / ``run_fastflex`` are called directly
+    #: (the caller owns registry hygiene then).
+    metrics: Dict = field(default_factory=dict)
 
     def mean_during_attack(self, config: Figure3Config) -> float:
         return self.throughput.mean_over(config.attack_start_s + 2.0,
@@ -210,9 +216,31 @@ def run_fastflex(config: Optional[Figure3Config] = None,
 
 def run_both(config: Optional[Figure3Config] = None
              ) -> Dict[str, Figure3Result]:
+    """Run both systems with per-system metrics isolation.
+
+    Both runs share one process-wide registry, so without isolation a
+    ``--metrics`` snapshot after ``run_both`` would silently sum the
+    baseline's and FastFlex's counters into one number per series.
+    Instead the registry is snapshotted and reset around each run: each
+    :class:`Figure3Result` carries its own clean snapshot in
+    ``result.metrics``, and at the end the registry is rebuilt as
+    pre-existing state + baseline + fastflex via
+    :meth:`~repro.telemetry.MetricsRegistry.merge`, so callers that
+    accumulated metrics before ``run_both`` (e.g. ``python -m repro
+    all``) lose nothing and a whole-process snapshot still totals up.
+    """
     config = config if config is not None else Figure3Config()
-    return {"baseline_sdn": run_baseline(config),
-            "fastflex": run_fastflex(config)}
+    registry = metrics()
+    pre_existing = registry.snapshot()
+    registry.reset()
+    baseline = run_baseline(config)
+    baseline.metrics = registry.snapshot()
+    registry.reset()
+    fastflex = run_fastflex(config)
+    fastflex.metrics = registry.snapshot()
+    registry.reset()
+    registry.merge(pre_existing, baseline.metrics, fastflex.metrics)
+    return {"baseline_sdn": baseline, "fastflex": fastflex}
 
 
 def format_report(results: Dict[str, Figure3Result],

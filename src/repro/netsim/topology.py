@@ -14,6 +14,7 @@ run on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+import random
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -354,7 +355,14 @@ def random_topology(sim: Simulator, n_switches: int, n_hosts: int,
     """A connected random topology: a random spanning tree plus extras."""
     if n_switches < 1:
         raise ValueError("need at least one switch")
-    rng = sim.rng if seed is None else __import__("random").Random(seed)
+    # Topology sampling gets its own RNG stream, never ``sim.rng``: the
+    # simulator's RNG drives event-order tie-breaking, so drawing the
+    # topology from it would make "add one more host" perturb the event
+    # schedule of an otherwise identical run.  When no explicit seed is
+    # given, derive one from the simulator's seed (string seeding is
+    # hash-randomization-proof) so runs stay reproducible.
+    rng = random.Random(f"random_topology:{sim.seed}"
+                        if seed is None else seed)
     topo = Topology(sim, name="random")
     names = [topo.add_switch(f"sw{i}").name for i in range(n_switches)]
     for i in range(1, n_switches):

@@ -1,0 +1,30 @@
+"""Deterministic, checkpointed, process-parallel experiment sweeps.
+
+The sweep runner is how multi-seed evidence gets produced at scale:
+``SweepSpec`` (grid x seeds) -> sharded execution with per-task derived
+seeds and isolated telemetry -> crash-safe per-task checkpoints ->
+structured aggregation (mean/min/max/CI per scalar and per series
+point) plus one merged metrics snapshot.
+
+Entry points:
+
+* ``python -m repro sweep <driver> --seeds 0:20 --workers 8 --out DIR``
+* :func:`run_sweep` from code (benchmarks drive repetitions through it)
+* :func:`register_driver` / ``"module:callable"`` specs for custom
+  drivers.
+
+See DESIGN.md "Sweep runner" for the determinism contract.
+"""
+
+from .aggregate import aggregate_records, summarize_values
+from .drivers import driver_names, register_driver, resolve_driver
+from .runner import SweepResult, run_sweep, run_task, stable_metrics
+from .spec import (SweepSpec, SweepTask, derive_seed, params_slug,
+                   parse_seeds)
+
+__all__ = [
+    "SweepResult", "SweepSpec", "SweepTask", "aggregate_records",
+    "derive_seed", "driver_names", "params_slug", "parse_seeds",
+    "register_driver", "resolve_driver", "run_sweep", "run_task",
+    "stable_metrics", "summarize_values",
+]

@@ -1,0 +1,78 @@
+"""Structured aggregation of sweep task records.
+
+Tasks that share a parameter point form a *group* (one series of the
+eventual figure); within a group the runner aggregates
+
+* every scalar the driver reported: n / mean / min / max / stddev and a
+  95 % confidence half-width (normal approximation — fine for the
+  10–50-seed sweeps the figures use), and
+* every time series, pointwise across seeds at each sample time.
+
+Aggregation is a pure function of the *sorted* record list, so its
+output is identical whatever order workers finished in — this is half
+of the runner's workers-independence guarantee (the other half is
+per-task seed derivation in :mod:`.spec`).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Any, Dict, List
+
+#: two-sided 95 % normal quantile
+_Z95 = 1.959963984540054
+
+
+def summarize_values(values: List[float]) -> Dict[str, float]:
+    """n/mean/min/max/stddev/ci95 of one scalar across seeds."""
+    n = len(values)
+    summary = {
+        "n": n,
+        "mean": statistics.fmean(values),
+        "min": min(values),
+        "max": max(values),
+    }
+    if n > 1:
+        stddev = statistics.stdev(values)
+        summary["stddev"] = stddev
+        summary["ci95"] = _Z95 * stddev / math.sqrt(n)
+    else:
+        summary["stddev"] = 0.0
+        summary["ci95"] = 0.0
+    return summary
+
+
+def aggregate_records(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold task records (the runner's checkpoint payloads) into
+    per-group scalar and series summaries."""
+    groups: Dict[str, Dict[str, Any]] = {}
+    for record in sorted(records, key=lambda r: r["task_id"]):
+        group = groups.setdefault(record["group"], {
+            "params": record["params"],
+            "seeds": [],
+            "_scalars": {},
+            "_series": {},
+        })
+        group["seeds"].append(record["logical_seed"])
+        result = record.get("result", {})
+        for name, value in result.get("scalars", {}).items():
+            group["_scalars"].setdefault(name, []).append(value)
+        for name, samples in result.get("series", {}).items():
+            per_time = group["_series"].setdefault(name, {})
+            for t, v in samples:
+                per_time.setdefault(float(t), []).append(v)
+
+    out: Dict[str, Any] = {}
+    for key in sorted(groups):
+        group = groups[key]
+        scalars = {name: summarize_values(values)
+                   for name, values in sorted(group.pop("_scalars").items())}
+        series = {}
+        for name, per_time in sorted(group.pop("_series").items()):
+            series[name] = [
+                {"t": t, **summarize_values(per_time[t])}
+                for t in sorted(per_time)]
+        out[key] = {"params": group["params"], "seeds": group["seeds"],
+                    "scalars": scalars, "series": series}
+    return out

@@ -1,0 +1,140 @@
+"""Sweep drivers: named callables the runner fans out over.
+
+A driver is ``fn(seed, params) -> record`` where the record is a
+JSON-serializable dict, by convention::
+
+    {"scalars": {name: number, ...},      # aggregated across seeds
+     "series":  {name: [[t, v], ...]}}    # aggregated pointwise
+
+Everything else (telemetry isolation, metrics snapshots, checkpoints)
+is the runner's job — drivers stay pure experiment code.
+
+Drivers are resolved by name in **worker processes**, so a name must be
+resolvable without any in-process registration having happened there:
+
+* built-in names (``figure3``, ``figure3_baseline``, ``figure3_fastflex``)
+  live in the table below;
+* ``"package.module:callable"`` specs are imported on demand — this is
+  how benchmark suites run their own case functions through the runner
+  without the sweep package importing benchmark code;
+* :func:`register_driver` adds process-local names (tests, notebooks);
+  these resolve in forked workers (which inherit the registry) and in
+  inline ``workers=1`` runs, but not in spawned workers — use a
+  ``module:callable`` spec there.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any, Callable, Dict, List, Tuple
+
+Driver = Callable[[int, Dict[str, Any]], Dict[str, Any]]
+
+_REGISTRY: Dict[str, Driver] = {}
+
+
+def register_driver(name: str, fn: Driver = None):
+    """Register ``fn`` under ``name``; usable as a decorator."""
+    if fn is None:
+        return lambda f: register_driver(name, f)
+    _REGISTRY[name] = fn
+    return fn
+
+
+def resolve_driver(name: str) -> Driver:
+    """Look up a driver by registered name, built-in name, or
+    ``module:callable`` import spec."""
+    driver = _REGISTRY.get(name)
+    if driver is not None:
+        return driver
+    if ":" in name:
+        module_name, _, attr = name.partition(":")
+        fn = getattr(import_module(module_name), attr, None)
+        if not callable(fn):
+            raise KeyError(f"driver spec {name!r}: "
+                           f"{module_name}.{attr} is not callable")
+        return fn
+    raise KeyError(
+        f"no sweep driver named {name!r}; registered: "
+        f"{sorted(_REGISTRY)} (or use a 'module:callable' spec)")
+
+
+def driver_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Built-in figure drivers
+# ----------------------------------------------------------------------
+
+def _figure3_config(seed: int, params: Dict[str, Any]):
+    from ..experiments.figure3 import Figure3Config
+    fields = set(Figure3Config.__dataclass_fields__)
+    unknown = set(params) - fields
+    if unknown:
+        raise ValueError(
+            f"figure3 has no parameter(s) {sorted(unknown)}; "
+            f"valid: {sorted(fields)}")
+    overrides = dict(params)
+    overrides["seed"] = seed
+    return Figure3Config(**overrides)
+
+
+def _series(result) -> List[Tuple[float, float]]:
+    return [[t, v] for t, v in result.throughput.samples]
+
+
+def _summarize(result, config, prefix: str) -> Dict[str, float]:
+    scalars = {
+        f"{prefix}_mean_during_attack":
+            result.mean_during_attack(config),
+        f"{prefix}_min_during_attack":
+            result.min_during_attack(config),
+        f"{prefix}_attacker_rolls": result.rolls,
+        f"{prefix}_fluid_allocation_passes":
+            result.fluid_allocation_passes,
+    }
+    if result.detections:
+        scalars[f"{prefix}_detection_lag_s"] = (
+            result.detections[0].time - config.attack_start_s)
+    return scalars
+
+
+@register_driver("figure3")
+def figure3_driver(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Both systems under the rolling LFA; the paper's Figure 3 point."""
+    from ..experiments.figure3 import run_both
+    config = _figure3_config(seed, params)
+    results = run_both(config)
+    record: Dict[str, Any] = {"scalars": {}, "series": {}}
+    for name, prefix in (("baseline_sdn", "baseline"),
+                         ("fastflex", "fastflex")):
+        result = results[name]
+        record["scalars"].update(_summarize(result, config, prefix))
+        record["series"][name] = _series(result)
+    record["scalars"]["gap"] = (
+        record["scalars"]["fastflex_mean_during_attack"]
+        - record["scalars"]["baseline_mean_during_attack"])
+    record["per_system_metrics"] = {
+        name: results[name].metrics for name in results}
+    return record
+
+
+@register_driver("figure3_baseline")
+def figure3_baseline_driver(seed: int,
+                            params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..experiments.figure3 import run_baseline
+    config = _figure3_config(seed, params)
+    result = run_baseline(config)
+    return {"scalars": _summarize(result, config, "baseline"),
+            "series": {"baseline_sdn": _series(result)}}
+
+
+@register_driver("figure3_fastflex")
+def figure3_fastflex_driver(seed: int,
+                            params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..experiments.figure3 import run_fastflex
+    config = _figure3_config(seed, params)
+    result = run_fastflex(config)
+    return {"scalars": _summarize(result, config, "fastflex"),
+            "series": {"fastflex": _series(result)}}

@@ -1,0 +1,243 @@
+"""The sweep runner: sharded execution, checkpoints, resume, merge.
+
+Execution model
+---------------
+
+``run_sweep`` expands a :class:`~repro.sweep.spec.SweepSpec` into tasks
+and runs each through :func:`run_task`:
+
+1. reset this process's telemetry (registry **and** trace) so the task
+   starts from a clean slate — under ``ProcessPoolExecutor`` every
+   worker owns a private registry anyway (and forked workers must shed
+   whatever state they inherited from the parent);
+2. resolve and call the driver with the task's derived seed and params;
+3. snapshot the registry into the task record;
+4. write the record to ``<out>/tasks/<task_id>.json`` atomically
+   (temp file + ``os.replace``), which doubles as the crash-safe
+   checkpoint.
+
+Resume: with ``resume=True`` a task whose checkpoint exists, parses,
+and carries the task's exact fingerprint is *skipped* and its record
+reloaded; anything else (missing, truncated by a crash, produced by a
+different spec) is re-run.  Without ``resume``, stale task checkpoints
+for this spec are removed first so a finished directory always reflects
+exactly one coherent sweep.
+
+Determinism: per-task seeds are derived, not shared; records are sorted
+by ``task_id`` before aggregation; metric snapshots merge through the
+additive (commutative, associative) :meth:`MetricsRegistry.merge`.
+Hence ``--workers 8`` and ``--workers 1`` produce byte-identical
+aggregates and merged snapshots for the same spec.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+import json
+import os
+from pathlib import Path
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import telemetry
+from ..telemetry import PHASE_METRIC, MetricsRegistry
+from .aggregate import aggregate_records
+from .drivers import resolve_driver
+from .spec import SweepSpec, SweepTask
+
+TASK_DIR = "tasks"
+SUMMARY_NAME = "sweep_summary.json"
+
+#: Metric families that measure *wall-clock* time and therefore cannot
+#: be identical across executions; everything else in a sweep's merged
+#: snapshot is a pure function of (spec, seeds).
+WALL_CLOCK_METRICS = (PHASE_METRIC,)
+
+
+def stable_metrics(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic subset of a metrics snapshot: drop wall-clock
+    timing families.  Two sweeps of the same spec agree on this view
+    regardless of worker count — the basis of the determinism checks in
+    tests and CI."""
+    return {name: family for name, family in snapshot.items()
+            if name not in WALL_CLOCK_METRICS}
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep knows."""
+
+    spec: SweepSpec
+    records: List[Dict[str, Any]]  #: one per task, sorted by task_id
+    aggregates: Dict[str, Any]
+    merged_metrics: Dict[str, Any]
+    executed: int = 0
+    skipped: int = 0
+    wall_seconds: float = 0.0
+    out_dir: Optional[Path] = None
+    errors: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.describe(),
+            "n_tasks": len(self.records) + len(self.errors),
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "aggregates": self.aggregates,
+            "merged_metrics": self.merged_metrics,
+        }
+
+    def write_summary(self, path) -> Path:
+        path = Path(path)
+        _atomic_write_json(path, self.summary())
+        return path
+
+
+# ----------------------------------------------------------------------
+# One task (runs inside workers; must stay module-level / picklable)
+# ----------------------------------------------------------------------
+
+def run_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one task from its wire form; returns the task record."""
+    task = SweepTask(payload["experiment"],
+                     tuple(tuple(p) for p in payload["params"]),
+                     payload["logical_seed"], payload["seed"])
+    telemetry.reset()
+    driver = resolve_driver(task.experiment)
+    started = time.perf_counter()
+    result = driver(task.seed, task.param_dict)
+    record = {
+        "task_id": task.task_id,
+        "fingerprint": task.fingerprint(),
+        "experiment": task.experiment,
+        "group": task.group,
+        "params": task.param_dict,
+        "logical_seed": task.logical_seed,
+        "seed": task.seed,
+        "wall_seconds": time.perf_counter() - started,
+        "result": result,
+        "metrics": telemetry.metrics().snapshot(),
+    }
+    out_dir = payload.get("out_dir")
+    if out_dir is not None:
+        checkpoint = Path(out_dir) / TASK_DIR / f"{task.task_id}.json"
+        _atomic_write_json(checkpoint, record)
+    return record
+
+
+def _task_payload(task: SweepTask, out_dir: Optional[Path]) -> Dict:
+    return {"experiment": task.experiment, "params": list(task.params),
+            "logical_seed": task.logical_seed, "seed": task.seed,
+            "out_dir": None if out_dir is None else str(out_dir)}
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(path: Path, task: SweepTask) -> Optional[Dict]:
+    """The record at ``path`` iff it is a finished run of exactly
+    ``task`` (same id *and* fingerprint); None otherwise."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if (record.get("task_id") == task.task_id
+            and record.get("fingerprint") == task.fingerprint()):
+        return record
+    return None
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+
+def run_sweep(spec: SweepSpec, out_dir=None, workers: int = 1,
+              resume: bool = False,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> SweepResult:
+    """Run every task of ``spec``; returns the aggregated result.
+
+    ``workers <= 1`` executes inline (no pool — simplest to debug and
+    byte-identical to the sharded path); ``workers > 1`` shards over a
+    :class:`ProcessPoolExecutor`.  With ``out_dir`` set, per-task
+    checkpoints and ``sweep_summary.json`` are written there; with
+    ``resume=True``, tasks whose checkpoints match are skipped.
+    """
+    say = progress if progress is not None else (lambda message: None)
+    out_path = None if out_dir is None else Path(out_dir)
+    tasks = spec.tasks()
+    started = time.perf_counter()
+
+    done: Dict[str, Dict[str, Any]] = {}
+    pending: List[SweepTask] = []
+    for task in tasks:
+        checkpoint = (None if out_path is None else
+                      out_path / TASK_DIR / f"{task.task_id}.json")
+        if resume and checkpoint is not None and checkpoint.exists():
+            record = _load_checkpoint(checkpoint, task)
+            if record is not None:
+                done[task.task_id] = record
+                continue
+            say(f"[sweep] stale checkpoint for {task.task_id}; re-running")
+        elif checkpoint is not None and checkpoint.exists():
+            checkpoint.unlink()  # fresh (non-resume) sweep: no leftovers
+        pending.append(task)
+    skipped = len(done)
+    if skipped:
+        say(f"[sweep] resume: {skipped}/{len(tasks)} task(s) already "
+            f"complete, running {len(pending)}")
+
+    errors: List[Dict[str, str]] = []
+    if workers > 1 and len(pending) > 1:
+        say(f"[sweep] running {len(pending)} task(s) on "
+            f"{workers} workers")
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [(task, pool.submit(run_task,
+                                          _task_payload(task, out_path)))
+                       for task in pending]
+            for task, future in futures:
+                try:
+                    done[task.task_id] = future.result()
+                    say(f"[sweep] done {task.task_id}")
+                except Exception as exc:
+                    errors.append(
+                        {"task_id": task.task_id,
+                         "error": f"{type(exc).__name__}: {exc}"})
+                    say(f"[sweep] FAILED {task.task_id}: {exc}")
+    else:
+        for task in pending:
+            say(f"[sweep] running {task.task_id}")
+            try:
+                done[task.task_id] = run_task(
+                    _task_payload(task, out_path))
+            except Exception as exc:  # record and keep sweeping
+                errors.append({"task_id": task.task_id,
+                               "error": f"{type(exc).__name__}: {exc}"})
+                say(f"[sweep] FAILED {task.task_id}: {exc}")
+
+    records = [done[t.task_id] for t in tasks if t.task_id in done]
+    merged = MetricsRegistry().merge(
+        *(r["metrics"] for r in records)).snapshot()
+    result = SweepResult(
+        spec=spec, records=records,
+        aggregates=aggregate_records(records),
+        merged_metrics=merged,
+        executed=len(records) - skipped, skipped=skipped,
+        wall_seconds=time.perf_counter() - started,
+        out_dir=out_path, errors=errors)
+    if out_path is not None:
+        result.write_summary(out_path / SUMMARY_NAME)
+    return result

@@ -1,0 +1,173 @@
+"""Sweep specification: a parameter grid x a seed list over one driver.
+
+A :class:`SweepSpec` is the declarative half of the sweep runner: it
+names an experiment driver, a base parameter set, an optional grid of
+parameter axes, and a list of logical seeds.  :meth:`SweepSpec.tasks`
+expands it into a deterministic, totally ordered list of
+:class:`SweepTask` — the unit of execution, checkpointing, and resume.
+
+Determinism contract (see DESIGN.md "Sweep runner"):
+
+* Task order is a pure function of the spec: grid axes sorted by name,
+  axis values in the given order, seeds in the given order.
+* Each task's effective RNG seed is derived with
+  :func:`derive_seed` — a SHA-256 of the (experiment, parameter point,
+  logical seed) triple — so it is identical across processes, platforms
+  and ``PYTHONHASHSEED`` values, and distinct parameter points get
+  decorrelated streams even when they share a logical seed list.
+* ``task_id`` doubles as the checkpoint filename and embeds a
+  fingerprint of the task's full identity, so a resumed sweep can never
+  reuse a checkpoint produced under a different spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import hashlib
+import itertools
+import json
+import re
+from typing import Any, Dict, Iterable, List, Tuple
+
+#: Bump when task semantics change incompatibly; part of every task
+#: fingerprint, so stale checkpoints are re-run rather than trusted.
+SPEC_VERSION = 1
+
+_SLUG_UNSAFE = re.compile(r"[^A-Za-z0-9_.=,+-]+")
+_MAX_SLUG = 80
+
+
+def derive_seed(experiment: str, params: Dict[str, Any],
+                logical_seed: int) -> int:
+    """A stable 63-bit seed for one (experiment, point, seed) triple.
+
+    Uses SHA-256 over a canonical JSON encoding — *never* ``hash()``,
+    which is salted per process and would break cross-worker
+    reproducibility.
+    """
+    canonical = json.dumps(
+        {"experiment": experiment, "params": params,
+         "seed": logical_seed, "version": SPEC_VERSION},
+        sort_keys=True, default=str)
+    digest = hashlib.sha256(canonical.encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def parse_seeds(text: str) -> List[int]:
+    """Parse a ``--seeds`` value: ``0:20``, ``0:20:2``, ``3``, ``1,4,9``."""
+    text = text.strip()
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) not in (2, 3) or not all(
+                p.lstrip("-").isdigit() for p in parts):
+            raise ValueError(f"bad seed range {text!r}; want START:STOP "
+                             f"or START:STOP:STEP")
+        bounds = [int(p) for p in parts]
+        seeds = list(range(*bounds))
+        if not seeds:
+            raise ValueError(f"seed range {text!r} is empty")
+        return seeds
+    try:
+        return [int(p) for p in text.split(",")]
+    except ValueError:
+        raise ValueError(f"bad seed list {text!r}; want N, N,M,... or "
+                         f"START:STOP") from None
+
+
+def params_slug(params: Dict[str, Any]) -> str:
+    """A filesystem-safe, human-readable tag for one parameter point."""
+    if not params:
+        return "default"
+    joined = ",".join(f"{k}={params[k]}" for k in sorted(params))
+    slug = _SLUG_UNSAFE.sub("-", joined)
+    if len(slug) > _MAX_SLUG:
+        digest = hashlib.sha256(joined.encode()).hexdigest()[:8]
+        slug = f"{slug[:_MAX_SLUG]}-{digest}"
+    return slug
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: a parameter point plus one seed."""
+
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...]
+    logical_seed: int
+    seed: int  #: effective RNG seed handed to the driver
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def group(self) -> str:
+        """Series key: tasks sharing a parameter point aggregate together."""
+        return params_slug(self.param_dict)
+
+    @property
+    def task_id(self) -> str:
+        experiment = _SLUG_UNSAFE.sub("-", self.experiment)
+        return f"{experiment}--{self.group}--s{self.logical_seed}"
+
+    def fingerprint(self) -> str:
+        """Identity hash checked on resume before trusting a checkpoint."""
+        canonical = json.dumps(
+            {"experiment": self.experiment, "params": self.param_dict,
+             "logical_seed": self.logical_seed, "seed": self.seed,
+             "version": SPEC_VERSION}, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass
+class SweepSpec:
+    """What to sweep: driver name, base params, grid axes, seeds."""
+
+    experiment: str
+    seeds: List[int]
+    base_params: Dict[str, Any] = field(default_factory=dict)
+    #: axis name -> list of values; the cross product of all axes is run.
+    grid: Dict[str, List[Any]] = field(default_factory=dict)
+    #: When True, hand drivers the logical seed unchanged instead of the
+    #: derived one — for reproducing historical runs keyed on raw seeds.
+    raw_seeds: bool = False
+
+    def __post_init__(self):
+        if not self.seeds:
+            raise ValueError("a sweep needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds in {self.seeds}")
+        for axis, values in self.grid.items():
+            if not values:
+                raise ValueError(f"grid axis {axis!r} has no values")
+
+    # ------------------------------------------------------------------
+    def points(self) -> Iterable[Dict[str, Any]]:
+        """Every parameter point: base params overlaid with one grid cell."""
+        axes = sorted(self.grid)
+        for combo in itertools.product(*(self.grid[a] for a in axes)):
+            point = dict(self.base_params)
+            point.update(zip(axes, combo))
+            yield point
+
+    def tasks(self) -> List[SweepTask]:
+        """The full, deterministically ordered task list."""
+        tasks = []
+        for point in self.points():
+            frozen = tuple(sorted(point.items()))
+            for logical in self.seeds:
+                seed = (logical if self.raw_seeds
+                        else derive_seed(self.experiment, point, logical))
+                tasks.append(SweepTask(self.experiment, frozen,
+                                       logical, seed))
+        return tasks
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serializable summary, embedded in sweep_summary.json."""
+        return {
+            "experiment": self.experiment,
+            "seeds": list(self.seeds),
+            "base_params": dict(self.base_params),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "raw_seeds": self.raw_seeds,
+            "version": SPEC_VERSION,
+        }

@@ -96,17 +96,30 @@ class Metric:
         raise NotImplementedError
 
     def snapshot(self):
-        """JSON-serializable view of this family."""
+        """JSON-serializable view of this family.
+
+        The view is *round-trippable*: it carries the label names (and,
+        for histograms, the exact bucket bounds) so a snapshot taken in
+        one process can be folded into another process's registry with
+        :meth:`MetricsRegistry.merge`.
+        """
         data = {"kind": self.kind, "value": self._snap_value()}
         if self.description:
             data["description"] = self.description
         if self.labelnames:
+            data["labelnames"] = list(self.labelnames)
             data["labels"] = {
                 ",".join(values): child._snap_value()
                 for values, child in sorted(self._children.items())}
         return data
 
     def _snap_value(self):
+        raise NotImplementedError
+
+    def _merge_snap(self, value) -> None:
+        """Fold one snapshot value (the ``_snap_value`` form) into this
+        metric.  Merging is additive — see :meth:`MetricsRegistry.merge`
+        for the per-kind semantics."""
         raise NotImplementedError
 
 
@@ -131,6 +144,9 @@ class Counter(Metric):
 
     def _snap_value(self) -> float:
         return self.value
+
+    def _merge_snap(self, value) -> None:
+        self.value += float(value)
 
 
 class Gauge(Metric):
@@ -168,6 +184,14 @@ class Gauge(Metric):
         if self._fn is not None:
             return self._fn()
         return self.value
+
+    def _merge_snap(self, value) -> None:
+        # Gauges merge by summation: for worker-sharded runs the natural
+        # reading of e.g. "events executed" or "queue depth" across
+        # workers is the total.  Last-value semantics cannot survive a
+        # merge of concurrent snapshots anyway; callers needing a
+        # per-worker view keep the unmerged snapshots.
+        self.value += float(value)
 
 
 class Histogram(Metric):
@@ -208,6 +232,7 @@ class Histogram(Metric):
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
+            "bounds": list(self.buckets),
             "buckets": {
                 **{f"le_{bound:g}": cumulative
                    for bound, cumulative in zip(
@@ -215,6 +240,29 @@ class Histogram(Metric):
                 "inf": self.count,
             },
         }
+
+    def _merge_snap(self, value) -> None:
+        bounds = tuple(value.get("bounds", ()))
+        if bounds and bounds != self.buckets:
+            raise MetricError(
+                f"{self.name}: cannot merge histogram with bounds "
+                f"{bounds} into bounds {self.buckets}")
+        cumulative = value.get("buckets", {})
+        previous = 0
+        for index, bound in enumerate(self.buckets):
+            upto = cumulative.get(f"le_{bound:g}", previous)
+            self.counts[index] += upto - previous
+            previous = upto
+        self.counts[-1] += value["count"] - previous
+        self.sum += value["sum"]
+        self.count += value["count"]
+
+
+def _zero_snap(value) -> bool:
+    """True when a snapshot value carries no information to merge."""
+    if isinstance(value, dict):  # histogram
+        return not value.get("count")
+    return not value
 
 
 def _cumulate(counts: Iterable[int]) -> List[int]:
@@ -306,6 +354,72 @@ class MetricsRegistry:
         instrumented modules keep working and stay registered."""
         for metric in self._metrics.values():
             metric.reset()
+
+    # ------------------------------------------------------------------
+    def merge(self, *snapshots: Dict[str, dict]) -> "MetricsRegistry":
+        """Fold one or more :meth:`snapshot` dicts into this registry.
+
+        This is how per-worker telemetry becomes one sweep-level view:
+        every sweep worker runs against its own (process-local) registry,
+        returns ``registry.snapshot()``, and the coordinator merges the
+        snapshots into a fresh registry.  Merging is **additive** and
+        therefore associative and commutative:
+
+        * counters and gauges sum their values (gauge last-value
+          semantics cannot survive a merge of concurrent runs; the
+          total is the only order-independent reading);
+        * histograms add per-bucket counts, ``sum`` and ``count``
+          (bucket bounds must match exactly);
+        * labeled children merge label-by-label — families are created
+          with the snapshot's recorded ``labelnames``, so label sets
+          stay consistent with live instrumentation.
+
+        Families absent from this registry are created on the fly;
+        families present in both must agree on kind and label names
+        (:class:`MetricError` otherwise).  Returns ``self`` so callers
+        can chain ``MetricsRegistry().merge(a, b).snapshot()``.
+
+        Zero-valued entries (a reset-but-untouched counter, a histogram
+        with no observations) are skipped: they contribute nothing, and
+        skipping them makes the merged result independent of *which*
+        process happened to have instantiated a family — without it,
+        sharding the same tasks over a different worker count could
+        change the merged snapshot's key set.
+        """
+        kinds = {Counter.kind: self.counter, Gauge.kind: self.gauge}
+        for snap in snapshots:
+            for name in sorted(snap):
+                family = snap[name]
+                kind = family.get("kind", Counter.kind)
+                value = family["value"]
+                live_labels = {
+                    joined: child
+                    for joined, child in family.get("labels", {}).items()
+                    if not _zero_snap(child)}
+                if _zero_snap(value) and not live_labels:
+                    continue
+                labelnames = tuple(family.get("labelnames", ()))
+                if kind == Histogram.kind:
+                    bounds = None
+                    for value in [family.get("value")] + list(
+                            family.get("labels", {}).values()):
+                        if isinstance(value, dict) and value.get("bounds"):
+                            bounds = tuple(value["bounds"])
+                            break
+                    metric = self.histogram(
+                        name, family.get("description", ""), labelnames,
+                        buckets=bounds or DEFAULT_BUCKETS)
+                elif kind in kinds:
+                    metric = kinds[kind](
+                        name, family.get("description", ""), labelnames)
+                else:
+                    raise MetricError(
+                        f"{name!r}: cannot merge unknown kind {kind!r}")
+                if not _zero_snap(value):
+                    metric._merge_snap(value)
+                for joined, child in live_labels.items():
+                    metric.labels(*joined.split(","))._merge_snap(child)
+        return self
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, dict]:

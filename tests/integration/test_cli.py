@@ -31,6 +31,25 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["figure9"])
 
+    @pytest.mark.parametrize("experiment", ["figure1", "figure2"])
+    @pytest.mark.parametrize("flags", [["--seed", "3"],
+                                       ["--duration", "10"],
+                                       ["--seed", "3", "--duration", "10"]])
+    def test_inapplicable_overrides_rejected(self, experiment, flags,
+                                             capsys):
+        # --seed/--duration only parameterize figure3; silently ignoring
+        # them would report results the flags never influenced.
+        with pytest.raises(SystemExit) as exc:
+            main([experiment] + flags)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "only apply to figure3" in err
+
+    def test_overrides_accepted_for_all(self, capsys):
+        # 'all' includes figure3, so the overrides do apply there.
+        assert main(["all", "--duration", "8", "--seed", "3"]) == 0
+        assert "mean under attack" in capsys.readouterr().out
+
 
 class TestTelemetryFlags:
     def test_trace_and_metrics_files_written(self, tmp_path, capsys):
@@ -57,6 +76,21 @@ class TestTelemetryFlags:
         assert snapshot["fluid_fastpath_hits_total"]["value"] > 0
         assert snapshot["mode_probes_sent_total"]["value"] > 0
 
+    def test_figure3_metrics_carry_per_system_sections(self, tmp_path):
+        metrics_path = tmp_path / "f3.json"
+        assert main(["figure3", "--duration", "12", "--seed", "3",
+                     "--metrics", str(metrics_path)]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        per_system = snapshot["per_system"]
+        assert set(per_system) == {"baseline_sdn", "fastflex"}
+        # Summed totals at the top level, per-system numbers beneath —
+        # and they must actually add up.
+        total = snapshot["fluid_updates_total"]["value"]
+        split = [per_system[name]["fluid_updates_total"]["value"]
+                 for name in per_system]
+        assert total == sum(split)
+        assert all(value > 0 for value in split)
+
     def test_trace_disabled_after_run(self, tmp_path):
         from repro import telemetry
         assert main(["figure1", "--trace", str(tmp_path / "t.jsonl")]) == 0
@@ -67,6 +101,49 @@ class TestTelemetryFlags:
         assert main(["figure1", "--metrics", str(metrics_path)]) == 0
         snapshot = json.loads(metrics_path.read_text())
         assert snapshot  # figure1 is analytic; snapshot may be small
+
+
+class TestSweepCli:
+    def test_sweep_runs_and_writes_summary(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        assert main(["sweep", "figure3", "--seeds", "0:2",
+                     "--set", "duration_s=10", "--out", str(out),
+                     "--quiet"]) == 0
+        assert "2 task(s) (2 executed" in capsys.readouterr().out
+        summary = json.loads((out / "sweep_summary.json").read_text())
+        assert summary["executed"] == 2
+        assert len(list((out / "tasks").glob("*.json"))) == 2
+        (group,) = summary["aggregates"].values()
+        assert group["scalars"]["gap"]["n"] == 2
+
+    def test_sweep_resume_skips_completed(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        argv = ["sweep", "figure3", "--seeds", "0:2",
+                "--set", "duration_s=10", "--out", str(out), "--quiet"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        assert "(0 executed, 2 resumed)" in capsys.readouterr().out
+
+    def test_sweep_merged_metrics_file(self, tmp_path):
+        metrics_path = tmp_path / "merged.json"
+        assert main(["sweep", "figure3", "--seeds", "0:2",
+                     "--set", "duration_s=10",
+                     "--out", str(tmp_path / "s"),
+                     "--metrics", str(metrics_path), "--quiet"]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["fluid_updates_total"]["value"] > 0
+
+    def test_sweep_unknown_driver_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["sweep", "no_such_driver", "--seeds", "0:1",
+                          "--out", str(tmp_path / "x"), "--quiet"])
+        assert exit_code == 1
+        assert "no sweep driver named" in capsys.readouterr().err
+
+    def test_sweep_bad_seed_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "figure3", "--seeds", "nope",
+                  "--out", str(tmp_path / "x")])
 
 
 class TestControllerVerificationGate:

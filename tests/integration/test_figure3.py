@@ -91,3 +91,50 @@ class TestComparison:
                                                         fastflex):
         assert fastflex.min_during_attack(CONFIG) > \
             baseline.mean_during_attack(CONFIG)
+
+
+class TestRunBothMetricsIsolation:
+    """run_both must keep the two systems' registry counters apart."""
+
+    def test_per_system_snapshots_recoverable(self):
+        from repro import telemetry
+        from repro.experiments.figure3 import run_both
+        from repro.telemetry import MetricsRegistry
+
+        config = Figure3Config(duration_s=15.0)
+        telemetry.reset()
+        results = run_both(config)
+        baseline_snap = results["baseline_sdn"].metrics
+        fastflex_snap = results["fastflex"].metrics
+        assert baseline_snap and fastflex_snap
+
+        # Each snapshot covers exactly its own system: the fluid-model
+        # work counters must match the per-result counters, not a sum.
+        for name, result in results.items():
+            snap = result.metrics
+            assert snap["fluid_updates_total"]["value"] == \
+                result.fluid_updates
+            assert snap["fluid_allocation_passes_total"]["value"] == \
+                result.fluid_allocation_passes
+        # Only FastFlex sends mode probes; the baseline snapshot must
+        # not have inherited them.
+        assert fastflex_snap["mode_probes_sent_total"]["value"] > 0
+        assert baseline_snap.get("mode_probes_sent_total",
+                                 {"value": 0})["value"] == 0
+
+        # The process registry ends as the merge of both systems.
+        final = telemetry.metrics().snapshot()
+        merged = MetricsRegistry().merge(baseline_snap,
+                                         fastflex_snap).snapshot()
+        assert final["fluid_updates_total"]["value"] == \
+            merged["fluid_updates_total"]["value"]
+
+    def test_pre_existing_metrics_survive_run_both(self):
+        from repro import telemetry
+        from repro.experiments.figure3 import run_both
+
+        telemetry.reset()
+        telemetry.metrics().counter("pre_existing_total").inc(7)
+        run_both(Figure3Config(duration_s=8.0))
+        snapshot = telemetry.metrics().snapshot()
+        assert snapshot["pre_existing_total"]["value"] == 7

@@ -1,0 +1,71 @@
+"""Aggregation: per-group scalar and series summaries."""
+
+import math
+
+from repro.sweep import aggregate_records, summarize_values
+
+
+def record(group, seed, scalars=None, series=None):
+    return {
+        "task_id": f"exp--{group}--s{seed}",
+        "group": group,
+        "params": {"g": group},
+        "logical_seed": seed,
+        "result": {"scalars": scalars or {}, "series": series or {}},
+    }
+
+
+class TestSummarizeValues:
+    def test_basic_stats(self):
+        summary = summarize_values([1.0, 2.0, 3.0])
+        assert summary["n"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert math.isclose(summary["stddev"], 1.0)
+        assert math.isclose(summary["ci95"], 1.96 * 1.0 / math.sqrt(3),
+                            rel_tol=1e-3)
+
+    def test_single_value_has_zero_spread(self):
+        summary = summarize_values([5.0])
+        assert summary["stddev"] == 0.0
+        assert summary["ci95"] == 0.0
+
+
+class TestAggregateRecords:
+    def test_groups_aggregate_independently(self):
+        records = [
+            record("a", 0, {"m": 1.0}),
+            record("a", 1, {"m": 3.0}),
+            record("b", 0, {"m": 10.0}),
+        ]
+        out = aggregate_records(records)
+        assert set(out) == {"a", "b"}
+        assert out["a"]["scalars"]["m"]["mean"] == 2.0
+        assert out["a"]["seeds"] == [0, 1]
+        assert out["b"]["scalars"]["m"]["n"] == 1
+
+    def test_order_independent(self):
+        records = [record("a", s, {"m": float(s)}) for s in range(4)]
+        assert aggregate_records(records) == \
+            aggregate_records(list(reversed(records)))
+
+    def test_sparse_scalars_allowed(self):
+        # A scalar only some seeds report (e.g. convergence latency)
+        # aggregates over the seeds that have it.
+        records = [record("a", 0, {"lat": 1.0}),
+                   record("a", 1, {})]
+        out = aggregate_records(records)
+        assert out["a"]["scalars"]["lat"]["n"] == 1
+
+    def test_series_pointwise(self):
+        records = [
+            record("a", 0, series={"tp": [[0.0, 1.0], [1.0, 0.5]]}),
+            record("a", 1, series={"tp": [[0.0, 3.0], [1.0, 0.7]]}),
+        ]
+        out = aggregate_records(records)
+        points = out["a"]["series"]["tp"]
+        assert [p["t"] for p in points] == [0.0, 1.0]
+        assert points[0]["mean"] == 2.0
+        assert points[0]["min"] == 1.0
+        assert math.isclose(points[1]["max"], 0.7)

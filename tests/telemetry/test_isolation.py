@@ -1,0 +1,181 @@
+"""Cross-run telemetry isolation and snapshot merging.
+
+Two guarantees the sweep runner (and any multi-run process) leans on:
+
+* ``telemetry.reset()`` leaves *no* residual counter / gauge / trace
+  state — a run after a reset snapshots exactly what it did itself;
+* ``MetricsRegistry.merge`` is additive, associative, commutative, and
+  label-correct, so worker snapshots can be folded in any order (and
+  any sharding) with one result.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricError, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_default_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def zero_values(snapshot):
+    """Every non-histogram value plus histogram counts, flattened."""
+    values = []
+    for family in snapshot.values():
+        for value in [family["value"]] + list(
+                family.get("labels", {}).values()):
+            values.append(value["count"] if isinstance(value, dict)
+                          else value)
+    return values
+
+
+class TestResetIsolation:
+    def test_repeated_runs_leave_no_residue(self):
+        registry = telemetry.metrics()
+
+        def one_run(amount):
+            registry.counter("iso_total").inc(amount)
+            registry.gauge("iso_depth").set(amount)
+            registry.histogram("iso_lat").observe(amount)
+            registry.counter("iso_by", labelnames=("k",)) \
+                .labels("a").inc(amount)
+            return registry.snapshot()
+
+        first = one_run(3)
+        telemetry.reset()
+        second = one_run(3)
+        assert first == second, "a reset run must equal a fresh run"
+
+    def test_reset_zeroes_every_family_and_child(self):
+        registry = telemetry.metrics()
+        registry.counter("z_total", labelnames=("k",)).labels("x").inc(2)
+        registry.gauge("z_gauge").set(7)
+        registry.histogram("z_hist").observe(0.5)
+        telemetry.reset()
+        assert all(v == 0 for v in zero_values(registry.snapshot()))
+
+    def test_reset_clears_trace_events_and_context(self):
+        trace = telemetry.trace()
+        trace.enable()
+        trace.set_context(system="baseline_sdn")
+        trace.emit("thing", sim_time=1.0)
+        telemetry.reset()
+        assert len(trace) == 0
+        assert trace.context == {}
+        trace.emit("after", sim_time=2.0)
+        assert trace.events[0].fields == {}, "context must not leak"
+        trace.disable()
+
+    def test_experiment_runs_after_reset_are_identical(self):
+        # End to end: the bug class PR 3 fixes — two figure3 systems
+        # sharing one registry must be separable run-to-run.
+        from repro.experiments.figure3 import Figure3Config, run_baseline
+        config = Figure3Config(duration_s=8.0)
+        registry = telemetry.metrics()
+        telemetry.reset()
+        run_baseline(config)
+        first = registry.snapshot()
+        telemetry.reset()
+        run_baseline(config)
+        second = registry.snapshot()
+        assert {k: v for k, v in first.items()
+                if k != "phase_duration_seconds"} == \
+            {k: v for k, v in second.items()
+             if k != "phase_duration_seconds"}
+
+
+class TestMerge:
+    def snap(self, **counters):
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name).inc(value)
+        return registry.snapshot()
+
+    def test_counters_sum(self):
+        merged = MetricsRegistry().merge(
+            self.snap(a_total=2), self.snap(a_total=3)).snapshot()
+        assert merged["a_total"]["value"] == 5
+
+    def test_associative_and_commutative(self):
+        a, b, c = (self.snap(x_total=1), self.snap(x_total=2),
+                   self.snap(x_total=4))
+        left = MetricsRegistry().merge(a, b).merge(c).snapshot()
+        right = MetricsRegistry().merge(a).merge(b, c).snapshot()
+        swapped = MetricsRegistry().merge(c, b, a).snapshot()
+        assert left == right == swapped
+
+    def test_label_correct(self):
+        def labeled(system, value):
+            registry = MetricsRegistry()
+            registry.counter("m_total", labelnames=("system",)) \
+                .labels(system).inc(value)
+            return registry.snapshot()
+
+        merged = MetricsRegistry().merge(
+            labeled("baseline_sdn", 2), labeled("fastflex", 5),
+            labeled("baseline_sdn", 1)).snapshot()
+        assert merged["m_total"]["labelnames"] == ["system"]
+        assert merged["m_total"]["labels"] == \
+            {"baseline_sdn": 3, "fastflex": 5}
+
+    def test_histograms_merge_buckets_sum_count(self):
+        def hist(*values):
+            registry = MetricsRegistry()
+            for v in values:
+                registry.histogram("h", buckets=(1.0, 10.0)).observe(v)
+            return registry.snapshot()
+
+        merged = MetricsRegistry().merge(
+            hist(0.5, 5.0), hist(0.2, 50.0)).snapshot()
+        value = merged["h"]["value"]
+        assert value["count"] == 4
+        assert value["sum"] == pytest.approx(55.7)
+        assert value["buckets"] == {"le_1": 2, "le_10": 3, "inf": 4}
+
+    def test_histogram_bound_mismatch_rejected(self):
+        def hist(bounds):
+            registry = MetricsRegistry()
+            registry.histogram("h", buckets=bounds).observe(0.5)
+            return registry.snapshot()
+
+        with pytest.raises(MetricError):
+            MetricsRegistry().merge(hist((1.0,)), hist((2.0,)))
+
+    def test_zero_families_do_not_pollute(self):
+        # A worker that *created* but never incremented a family must
+        # not change the merged key set — otherwise the merged snapshot
+        # would depend on which worker ran which task.
+        quiet = MetricsRegistry()
+        quiet.counter("quiet_total")
+        quiet.counter("loud_total").inc(0)  # stays zero
+        busy = self.snap(busy_total=1)
+        merged = MetricsRegistry().merge(
+            quiet.snapshot(), busy).snapshot()
+        assert set(merged) == {"busy_total"}
+        assert merged == MetricsRegistry().merge(busy).snapshot()
+
+    def test_merge_into_live_registry_preserves_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("live_total")
+        counter.inc(1)
+        registry.merge(self.snap(live_total=4))
+        assert counter.value == 5, "merge must add into cached objects"
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge("clash").set(1)
+        with pytest.raises(MetricError):
+            registry.merge(self.snap(clash=2))
+
+    def test_gauges_sum(self):
+        def gauge(value):
+            registry = MetricsRegistry()
+            registry.gauge("g").set(value)
+            return registry.snapshot()
+
+        merged = MetricsRegistry().merge(gauge(2.0), gauge(3.5)).snapshot()
+        assert merged["g"]["value"] == 5.5
