@@ -25,9 +25,10 @@ import json
 from pathlib import Path
 import sys
 
-#: Wall-clock metric families, excluded from determinism comparison
-#: (mirrors repro.sweep.runner.WALL_CLOCK_METRICS without importing the
-#: package — this script must run before PYTHONPATH is set up).
+#: Fallback wall-clock family list for summaries written before the
+#: runner started embedding ``wall_clock_metrics``; current summaries
+#: carry the authoritative list themselves, so this script never
+#: drifts out of sync with repro.sweep.runner.WALL_CLOCK_METRICS.
 WALL_CLOCK_METRICS = ("phase_duration_seconds",)
 
 
@@ -35,9 +36,9 @@ def load(path):
     return json.loads(Path(path).read_text())
 
 
-def stable(snapshot):
+def stable(snapshot, excluded):
     return {name: family for name, family in snapshot.items()
-            if name not in WALL_CLOCK_METRICS}
+            if name not in excluded}
 
 
 def check(args):
@@ -63,8 +64,11 @@ def check(args):
         if summary["aggregates"] != other["aggregates"]:
             return (f"aggregates differ between {args.summary} and "
                     f"{args.matches}")
-        if stable(summary["merged_metrics"]) != \
-                stable(other["merged_metrics"]):
+        excluded = set(summary.get("wall_clock_metrics",
+                                   WALL_CLOCK_METRICS))
+        excluded.update(other.get("wall_clock_metrics", ()))
+        if stable(summary["merged_metrics"], excluded) != \
+                stable(other["merged_metrics"], excluded):
             return (f"merged metrics differ between {args.summary} and "
                     f"{args.matches} (excluding wall-clock families)")
     return None

@@ -233,13 +233,23 @@ def run_both(config: Optional[Figure3Config] = None
     registry = metrics()
     pre_existing = registry.snapshot()
     registry.reset()
-    baseline = run_baseline(config)
-    baseline.metrics = registry.snapshot()
-    registry.reset()
-    fastflex = run_fastflex(config)
-    fastflex.metrics = registry.snapshot()
-    registry.reset()
-    registry.merge(pre_existing, baseline.metrics, fastflex.metrics)
+    snapshots = []
+    try:
+        baseline = run_baseline(config)
+        baseline.metrics = registry.snapshot()
+        snapshots.append(baseline.metrics)
+        registry.reset()
+        fastflex = run_fastflex(config)
+        fastflex.metrics = registry.snapshot()
+        snapshots.append(fastflex.metrics)
+        registry.reset()
+    finally:
+        # Restore the registry even if a run raised: pre-existing state
+        # + every completed run's snapshot + whatever partial state the
+        # failed run left live (all-zero on success, so merge skips it).
+        partial = registry.snapshot()
+        registry.reset()
+        registry.merge(pre_existing, *snapshots, partial)
     return {"baseline_sdn": baseline, "fastflex": fastflex}
 
 

@@ -29,14 +29,17 @@ def _parse_value(text: str) -> Any:
         return text
 
 
-def _parse_assignments(pairs: List[str], parser, flag: str
-                       ) -> Dict[str, Any]:
+def _parse_assignments(pairs: List[str], parser, flag: str,
+                       parse: bool = True) -> Dict[str, Any]:
+    """``KEY=VALUE`` pairs -> dict; ``parse=False`` keeps raw strings
+    so multi-value flags can split on ',' *before* literal_eval (which
+    would otherwise read ``50,200,400`` as one tuple)."""
     out: Dict[str, Any] = {}
     for pair in pairs:
         key, sep, value = pair.partition("=")
         if not sep or not key:
             parser.error(f"{flag} wants KEY=VALUE, got {pair!r}")
-        out[key] = _parse_value(value)
+        out[key] = _parse_value(value) if parse else value
     return out
 
 
@@ -91,11 +94,13 @@ def sweep_main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     base = _parse_assignments(args.base, parser, "--set")
-    grid = {
-        key: [_parse_value(v) for v in str(raw).split(",")] if
-             isinstance(raw, str) else [raw]
-        for key, raw in _parse_assignments(args.grid, parser,
-                                           "--grid").items()}
+    grid = {}
+    for key, raw in _parse_assignments(args.grid, parser, "--grid",
+                                       parse=False).items():
+        pieces = raw.split(",")
+        if not all(pieces):
+            parser.error(f"--grid {key}: empty value in {raw!r}")
+        grid[key] = [_parse_value(v) for v in pieces]
     try:
         seeds = parse_seeds(args.seeds)
     except ValueError as exc:

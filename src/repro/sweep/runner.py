@@ -92,6 +92,10 @@ class SweepResult:
             "wall_seconds": self.wall_seconds,
             "aggregates": self.aggregates,
             "merged_metrics": self.merged_metrics,
+            # The families a determinism comparison must ignore; tools
+            # like scripts/check_sweep.py read this instead of keeping
+            # their own copy of WALL_CLOCK_METRICS in sync.
+            "wall_clock_metrics": list(WALL_CLOCK_METRICS),
         }
 
     def write_summary(self, path) -> Path:

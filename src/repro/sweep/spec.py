@@ -75,12 +75,19 @@ def parse_seeds(text: str) -> List[int]:
 
 
 def params_slug(params: Dict[str, Any]) -> str:
-    """A filesystem-safe, human-readable tag for one parameter point."""
+    """A filesystem-safe, human-readable tag for one parameter point.
+
+    Whenever slugging is lossy — unsafe characters collapsed to ``-``
+    or the slug truncated — a short digest of the original text is
+    appended, so distinct points (e.g. ``'x,y'`` vs ``'x-y'``) can
+    never share a slug and silently overwrite each other's
+    checkpoints or aggregate into one series.
+    """
     if not params:
         return "default"
     joined = ",".join(f"{k}={params[k]}" for k in sorted(params))
     slug = _SLUG_UNSAFE.sub("-", joined)
-    if len(slug) > _MAX_SLUG:
+    if slug != joined or len(slug) > _MAX_SLUG:
         digest = hashlib.sha256(joined.encode()).hexdigest()[:8]
         slug = f"{slug[:_MAX_SLUG]}-{digest}"
     return slug
@@ -159,6 +166,16 @@ class SweepSpec:
                         else derive_seed(self.experiment, point, logical))
                 tasks.append(SweepTask(self.experiment, frozen,
                                        logical, seed))
+        # task_id keys the runner's 'done' dict and names checkpoint
+        # files, so a collision would silently drop one task's record.
+        by_id: Dict[str, SweepTask] = {}
+        for task in tasks:
+            clash = by_id.setdefault(task.task_id, task)
+            if clash is not task:
+                raise ValueError(
+                    f"task_id collision: {clash.param_dict!r} and "
+                    f"{task.param_dict!r} (seed {task.logical_seed}) "
+                    f"both slug to {task.task_id!r}")
         return tasks
 
     def describe(self) -> Dict[str, Any]:

@@ -401,10 +401,11 @@ class MetricsRegistry:
                 labelnames = tuple(family.get("labelnames", ()))
                 if kind == Histogram.kind:
                     bounds = None
-                    for value in [family.get("value")] + list(
+                    for candidate in [family.get("value")] + list(
                             family.get("labels", {}).values()):
-                        if isinstance(value, dict) and value.get("bounds"):
-                            bounds = tuple(value["bounds"])
+                        if isinstance(candidate, dict) and \
+                                candidate.get("bounds"):
+                            bounds = tuple(candidate["bounds"])
                             break
                     metric = self.histogram(
                         name, family.get("description", ""), labelnames,

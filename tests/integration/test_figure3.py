@@ -138,3 +138,26 @@ class TestRunBothMetricsIsolation:
         run_both(Figure3Config(duration_s=8.0))
         snapshot = telemetry.metrics().snapshot()
         assert snapshot["pre_existing_total"]["value"] == 7
+
+    def test_pre_existing_metrics_survive_failed_run(self, monkeypatch):
+        # Even when a run raises, the registry must be restored to
+        # pre-existing state + whatever the completed runs recorded —
+        # not left in the mid-run reset state.
+        import repro.experiments.figure3 as figure3
+        from repro import telemetry
+
+        def boom(config):
+            telemetry.metrics().counter("partial_total").inc(3)
+            raise RuntimeError("fastflex blew up")
+
+        monkeypatch.setattr(figure3, "run_fastflex", boom)
+        telemetry.reset()
+        telemetry.metrics().counter("pre_existing_total").inc(7)
+        with pytest.raises(RuntimeError, match="fastflex blew up"):
+            figure3.run_both(Figure3Config(duration_s=8.0))
+        snapshot = telemetry.metrics().snapshot()
+        assert snapshot["pre_existing_total"]["value"] == 7
+        # the baseline completed before the failure; its counters and
+        # the failed run's partial state are merged back too
+        assert snapshot["fluid_updates_total"]["value"] > 0
+        assert snapshot["partial_total"]["value"] == 3

@@ -1,0 +1,69 @@
+"""scripts/check_sweep.py — the CI gate on sweep summaries."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+from repro import telemetry
+from repro.sweep import SweepSpec, register_driver, run_sweep
+from repro.sweep.runner import WALL_CLOCK_METRICS
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / \
+    "check_sweep.py"
+
+
+def load_script():
+    spec = importlib.util.spec_from_file_location("check_sweep", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@register_driver("gate_toy")
+def gate_toy_driver(seed, params):
+    telemetry.metrics().counter("gate_toy_total").inc(seed % 97 + 1)
+    return {"scalars": {"value": float(seed % 97)}}
+
+
+def write_sweep(tmp_path, name):
+    out = tmp_path / name
+    run_sweep(SweepSpec(experiment="gate_toy", seeds=[0, 1]),
+              out_dir=out)
+    return out / "sweep_summary.json"
+
+
+class TestFallbackConstant:
+    def test_matches_package_constant(self):
+        # The script's fallback (for summaries predating the embedded
+        # list) must never drift from the runner's authority.
+        assert tuple(load_script().WALL_CLOCK_METRICS) == \
+            tuple(WALL_CLOCK_METRICS)
+
+
+class TestMatches:
+    def test_identical_sweeps_match(self, tmp_path):
+        a = write_sweep(tmp_path, "a")
+        b = write_sweep(tmp_path, "b")
+        assert load_script().main([str(a), "--matches", str(b)]) == 0
+
+    def test_wall_clock_families_from_summary_are_excluded(self, tmp_path):
+        # A family named in the summary's own wall_clock_metrics list
+        # may differ between runs without failing the gate — even one
+        # unknown to the script's fallback constant.
+        paths = [write_sweep(tmp_path, "a"), write_sweep(tmp_path, "b")]
+        for index, path in enumerate(paths):
+            summary = json.loads(path.read_text())
+            summary["merged_metrics"]["new_timer_seconds"] = \
+                {"kind": "gauge", "value": float(index)}
+            summary["wall_clock_metrics"].append("new_timer_seconds")
+            path.write_text(json.dumps(summary))
+        assert load_script().main(
+            [str(paths[0]), "--matches", str(paths[1])]) == 0
+
+    def test_deterministic_family_difference_fails(self, tmp_path):
+        a = write_sweep(tmp_path, "a")
+        b = write_sweep(tmp_path, "b")
+        summary = json.loads(b.read_text())
+        summary["merged_metrics"]["gate_toy_total"]["value"] += 1
+        b.write_text(json.dumps(summary))
+        assert load_script().main([str(a), "--matches", str(b)]) == 1

@@ -84,6 +84,14 @@ class TestSpecExpansion:
         assert base.fingerprint() == \
             SweepSpec(experiment="exp", seeds=[0]).tasks()[0].fingerprint()
 
+    def test_task_id_collision_raises(self):
+        # 50 and "50" are distinct points but str() to the same slug;
+        # silently sharing a task_id would drop one task's record.
+        spec = SweepSpec(experiment="exp", seeds=[0],
+                         grid={"k": [50, "50"]})
+        with pytest.raises(ValueError, match="collision"):
+            spec.tasks()
+
     def test_rejects_empty_seeds_and_axes(self):
         with pytest.raises(ValueError):
             SweepSpec(experiment="exp", seeds=[])
@@ -103,3 +111,14 @@ class TestParamsSlug:
     def test_long_params_hashed(self):
         slug = params_slug({f"k{i}": "v" * 30 for i in range(10)})
         assert len(slug) <= 90
+
+    def test_lossy_slugs_disambiguated(self):
+        # Unsafe characters collapse to '-'; the appended digest keeps
+        # distinct points from sharing a slug (and hence a task_id,
+        # checkpoint filename, and aggregation group).
+        assert params_slug({"k": "x y"}) != params_slug({"k": "x-y"})
+        assert params_slug({"k": "a/b"}) != params_slug({"k": "a b"})
+
+    def test_safe_slugs_unchanged(self):
+        assert params_slug({"scale": 2, "mode": "fast"}) == \
+            "mode=fast,scale=2"

@@ -136,6 +136,23 @@ class TestMerge:
         assert value["sum"] == pytest.approx(55.7)
         assert value["buckets"] == {"le_1": 2, "le_10": 3, "inf": 4}
 
+    def test_boundsless_histogram_snapshot_not_double_counted(self):
+        # _merge_snap tolerates external/older snapshots whose values
+        # lack "bounds"; the bounds-discovery scan must not clobber the
+        # family value it is iterating past, or a labeled child would
+        # be merged into the parent a second time.
+        snap = {"h": {
+            "kind": "histogram",
+            "value": {"count": 0, "sum": 0.0, "buckets": {}},
+            "labelnames": ["mode"],
+            "labels": {"fast": {"count": 2, "sum": 3.0,
+                                "buckets": {"inf": 2}}},
+        }}
+        merged = MetricsRegistry().merge(snap).snapshot()
+        assert merged["h"]["value"]["count"] == 0
+        assert merged["h"]["labels"]["fast"]["count"] == 2
+        assert merged["h"]["labels"]["fast"]["sum"] == pytest.approx(3.0)
+
     def test_histogram_bound_mismatch_rejected(self):
         def hist(bounds):
             registry = MetricsRegistry()
