@@ -1,0 +1,208 @@
+"""Microbenchmark — the routing hot path (PR trajectory bench).
+
+Times the workload the versioned route cache was built for: repeated TE
+passes over a 50-switch / 60-host topology with mid-run link removals
+(the SDN baseline's periodic reconfiguration under a changing network).
+The cached variant runs :func:`greedy_min_max_te` on top of the route
+cache; the reference variant replays the pre-cache behaviour — the same
+greedy selection but with candidates from
+:func:`k_shortest_paths_reference` (fresh networkx graph + Yen per
+commodity, memoized only within a single pass, which is what the old
+``candidate_cache`` dict did).
+
+Results are printed and written to ``BENCH_routing.json`` at the repo
+root so the numbers are comparable across PRs.
+
+Run with
+``PYTHONPATH=src python -m pytest benchmarks/test_microbench_routing.py -s``.
+"""
+
+import json
+import random
+import statistics
+import time
+from pathlib import Path as FsPath
+from typing import Dict, Optional, Tuple
+
+from repro import telemetry
+from repro.core.te import greedy_min_max_te
+from repro.netsim import (Simulator, k_shortest_paths_reference, make_flow,
+                          random_topology)
+
+N_SWITCHES = 50
+N_HOSTS = 60
+N_FLOWS = 120
+N_PASSES = 6
+K_PATHS = 4
+REMOVE_AT = {2: 0, 4: 1}  # pass index -> removable-link index
+REPEATS = 3
+SEED = 42
+BENCH_PATH = FsPath(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+
+def build_scenario():
+    sim = Simulator(seed=SEED)
+    topo = random_topology(sim, N_SWITCHES, N_HOSTS, extra_edges=30,
+                           seed=SEED)
+    rng = random.Random(SEED)
+    hosts = topo.host_names
+    flows = []
+    for index in range(N_FLOWS):
+        src, dst = rng.sample(hosts, 2)
+        flows.append(make_flow(src, dst, rng.uniform(1e6, 5e9),
+                               sport=1024 + index))
+    return topo, flows
+
+
+def removable_links(topo):
+    """Switch-switch links whose removal keeps the network connected
+    (everything outside a BFS spanning tree), deterministically ordered."""
+    switches = set(topo.switch_names)
+    adjacency: Dict[str, list] = {}
+    for a, b in topo.duplex_pairs():
+        if a in switches and b in switches:
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, []).append(a)
+    root = sorted(adjacency)[0]
+    seen = {root}
+    tree = set()
+    queue = [root]
+    while queue:
+        node = queue.pop(0)
+        for neighbor in sorted(adjacency[node]):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                tree.add((node, neighbor) if node < neighbor
+                         else (neighbor, node))
+                queue.append(neighbor)
+    extras = [pair for pair in topo.duplex_pairs()
+              if pair[0] in switches and pair[1] in switches
+              and pair not in tree]
+    return extras
+
+
+def reference_te_pass(topo, flows, k):
+    """The pre-cache TE pass: same greedy min-max selection as
+    :func:`greedy_min_max_te`, candidates from the networkx reference
+    with the old per-pass memo dict."""
+    candidate_cache: Dict[Tuple[str, str], tuple] = {}
+    load = {key: 0.0 for key in topo.links}
+    capacities = {key: link.capacity_bps for key, link in topo.links.items()}
+    ordered = sorted(flows, key=lambda f: (-f.demand_bps, f.flow_id))
+    worst_overall = 0.0
+    for flow in ordered:
+        pair = (flow.src, flow.dst)
+        candidates = candidate_cache.get(pair)
+        if candidates is None:
+            candidates = k_shortest_paths_reference(topo, flow.src,
+                                                    flow.dst, k)
+            candidate_cache[pair] = candidates
+        best_path, best_cost = None, (float("inf"), float("inf"))
+        for path in candidates:
+            worst = 0.0
+            for key in path.link_keys:
+                worst = max(worst,
+                            (load[key] + flow.demand_bps) / capacities[key])
+            cost = (worst, path.latency(topo))
+            if cost < best_cost:
+                best_cost, best_path = cost, path
+        for key in best_path.link_keys:
+            load[key] += flow.demand_bps
+        worst_overall = max(worst_overall, best_cost[0])
+    return worst_overall
+
+
+def run_workload(use_reference):
+    """N_PASSES TE passes with link removals mid-run; returns the
+    elapsed seconds and the per-pass objective values (for the
+    equivalence check between variants)."""
+    topo, flows = build_scenario()
+    removable = removable_links(topo)
+    objectives = []
+    start = time.perf_counter()
+    for index in range(N_PASSES):
+        link_index = REMOVE_AT.get(index)
+        if link_index is not None:
+            a, b = removable[link_index]
+            topo.remove_link(a, b)
+        if use_reference:
+            objectives.append(round(reference_te_pass(topo, flows,
+                                                      K_PATHS), 9))
+        else:
+            te = greedy_min_max_te(topo, flows, k=K_PATHS, assign=False)
+            objectives.append(round(te.max_utilization, 9))
+    return time.perf_counter() - start, objectives
+
+
+TELEMETRY_COUNTERS = (
+    "routing_cache_hits_total",
+    "routing_cache_misses_total",
+    "routing_sssp_recomputes_total",
+    "routing_graph_rebuilds_total",
+    "routing_candidates_invalidated_total",
+)
+
+
+def telemetry_counters():
+    registry = telemetry.metrics()
+    out = {}
+    for name in TELEMETRY_COUNTERS:
+        if name not in registry:
+            out[name] = 0.0
+            continue
+        snap = registry.get(name).snapshot()
+        labels = snap.get("labels")
+        if labels:
+            for label, value in labels.items():
+                out[f"{name}:{label}"] = value
+        else:
+            out[name] = snap["value"]
+    return out
+
+
+def test_routing_cache_speedup():
+    cached_runs, reference_runs = [], []
+    cached_objectives: Optional[list] = None
+    counters_before = telemetry_counters()
+    for _ in range(REPEATS):
+        elapsed, objectives = run_workload(use_reference=False)
+        cached_runs.append(elapsed * 1e3)
+        cached_objectives = objectives
+    counters_after = telemetry_counters()
+    for _ in range(REPEATS):
+        elapsed, reference_objectives = run_workload(use_reference=True)
+        reference_runs.append(elapsed * 1e3)
+
+    # Both variants must agree on the TE objective of every pass —
+    # equal-cost candidate reorderings may pick different paths, but the
+    # min-max objective they optimize is tie-invariant.
+    assert cached_objectives == reference_objectives
+
+    cached_ms = statistics.median(cached_runs)
+    reference_ms = statistics.median(reference_runs)
+    speedup = reference_ms / cached_ms
+    deltas = {name: counters_after.get(name, 0.0)
+              - counters_before.get(name, 0.0)
+              for name in counters_after}
+
+    record = {
+        "scenario": {"switches": N_SWITCHES, "hosts": N_HOSTS,
+                     "flows": N_FLOWS, "te_passes": N_PASSES,
+                     "k": K_PATHS, "link_removals": len(REMOVE_AT),
+                     "repeats": REPEATS},
+        "cached_ms": round(cached_ms, 3),
+        "reference_ms": round(reference_ms, 3),
+        "speedup": round(speedup, 2),
+        "telemetry": deltas,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nBENCH_routing: cached {cached_ms:.1f} ms, "
+          f"reference {reference_ms:.1f} ms, speedup {speedup:.1f}x "
+          f"-> {BENCH_PATH.name}")
+
+    # Candidate memo must be doing its job: later passes over the
+    # unchanged topology should hit, not recompute.
+    assert deltas.get("routing_cache_hits_total:yen", 0) > 0
+    assert speedup >= 3.0, (
+        f"routing cache regressed: only {speedup:.2f}x over the networkx "
+        f"reference on {N_SWITCHES} switches / {N_PASSES} TE passes")

@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
-"""Gate CI on the fluid-allocator benchmark.
+"""Gate CI on the fluid-allocator and routing-cache benchmarks.
 
-Reads a freshly generated ``BENCH_fluid.json`` (written by
-``benchmarks/test_microbench_fluid.py``) and fails if the optimized
-allocator's speedup over the reference implementation fell below the
-floor, or if the steady-state fast path stopped being a fast path.
+Reads freshly generated ``BENCH_fluid.json`` (written by
+``benchmarks/test_microbench_fluid.py``) and ``BENCH_routing.json``
+(written by ``benchmarks/test_microbench_routing.py``) and fails if
+either optimized path's speedup over its reference implementation fell
+below the floor, or if a fast path stopped being a fast path (steady
+epochs reallocating, TE passes never hitting the candidate memo).
 
 Usage::
 
-    python scripts/check_bench.py [--min-speedup 2.0] [path/to/BENCH_fluid.json]
+    python scripts/check_bench.py [--min-speedup 2.0] \
+        [--min-routing-speedup 2.0] [path/to/BENCH_fluid.json] \
+        [--routing-bench path/to/BENCH_routing.json]
 
-The floor here (2.0x) is deliberately looser than the benchmark's own
-assert (3.0x): CI runners are noisy shared machines, and the gate exists
-to catch real regressions, not scheduler jitter.
+The floors here (2.0x) are deliberately looser than the benchmarks' own
+asserts (3.0x): CI runners are noisy shared machines, and the gate
+exists to catch real regressions, not scheduler jitter.
 """
 
 import argparse
@@ -22,6 +26,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BENCH = REPO_ROOT / "BENCH_fluid.json"
+DEFAULT_ROUTING_BENCH = REPO_ROOT / "BENCH_routing.json"
 
 
 def check(path, min_speedup):
@@ -50,23 +55,66 @@ def check(path, min_speedup):
     return None
 
 
+def check_routing(path, min_speedup):
+    try:
+        record = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return f"{path} not found - did the routing benchmark run?"
+    except ValueError as exc:
+        return f"{path} is not valid JSON: {exc}"
+
+    speedup = record.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        return f"{path} has no numeric 'speedup' field"
+    if speedup < min_speedup:
+        return (f"routing-cache speedup regressed: {speedup:.2f}x < "
+                f"{min_speedup:.1f}x floor")
+
+    telemetry = record.get("telemetry", {})
+    yen_hits = telemetry.get("routing_cache_hits_total:yen")
+    if yen_hits is not None and yen_hits < 1:
+        return ("candidate-path memo never hit during repeated TE "
+                "passes - the yen cache layer is dead")
+    return None
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("bench", nargs="?", default=str(DEFAULT_BENCH),
                         help="path to BENCH_fluid.json")
     parser.add_argument("--min-speedup", type=float, default=2.0,
-                        help="minimum acceptable speedup (default: 2.0)")
+                        help="minimum acceptable allocator speedup "
+                             "(default: 2.0)")
+    parser.add_argument("--routing-bench",
+                        default=str(DEFAULT_ROUTING_BENCH),
+                        help="path to BENCH_routing.json")
+    parser.add_argument("--min-routing-speedup", type=float, default=2.0,
+                        help="minimum acceptable routing-cache speedup "
+                             "(default: 2.0)")
     args = parser.parse_args(argv)
 
+    failed = False
     error = check(args.bench, args.min_speedup)
     if error:
         print(f"check_bench: FAIL: {error}", file=sys.stderr)
-        return 1
-    record = json.loads(Path(args.bench).read_text())
-    print(f"check_bench: OK: speedup {record['speedup']:.2f}x "
-          f"(floor {args.min_speedup:.1f}x), steady-state update "
-          f"{record.get('steady_state_update_ms', '?')} ms")
-    return 0
+        failed = True
+    else:
+        record = json.loads(Path(args.bench).read_text())
+        print(f"check_bench: OK: allocator speedup {record['speedup']:.2f}x "
+              f"(floor {args.min_speedup:.1f}x), steady-state update "
+              f"{record.get('steady_state_update_ms', '?')} ms")
+
+    error = check_routing(args.routing_bench, args.min_routing_speedup)
+    if error:
+        print(f"check_bench: FAIL: {error}", file=sys.stderr)
+        failed = True
+    else:
+        record = json.loads(Path(args.routing_bench).read_text())
+        print(f"check_bench: OK: routing speedup {record['speedup']:.2f}x "
+              f"(floor {args.min_routing_speedup:.1f}x), cached TE loop "
+              f"{record.get('cached_ms', '?')} ms")
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -23,8 +23,17 @@ from ..netsim.flows import Flow
 from ..netsim.fluid import FluidNetwork
 from ..netsim.routing import install_flow_route, install_path_route
 from ..netsim.topology import Topology
+from ..telemetry import metrics, phase_timer
 
 LinkKey = Tuple[str, str]
+
+_MET = metrics()
+_C_RECONFIGS = _MET.counter(
+    "sdn_te_reconfigs_total",
+    "periodic SDN-TE controller passes, by mode (steady/congested)",
+    labelnames=("mode",))
+_C_RECONFIG_STEADY = _C_RECONFIGS.labels("steady")
+_C_RECONFIG_CONGESTED = _C_RECONFIGS.labels("congested")
 
 
 @dataclass
@@ -83,12 +92,19 @@ class SdnTeDefense:
                                for link in self.topo.links.values()),
                               default=0.0)
 
-        if congested:
-            te = rebalance_excluding_links(self.topo, flows, congested,
-                                           k=self.k_paths, assign=False)
-        else:
-            te = greedy_min_max_te(self.topo, flows, k=self.k_paths,
-                                   assign=False)
+        # The TE pass is the controller's hot path: candidate sets come
+        # from the topology's versioned route cache, so a pass over an
+        # unchanged topology recomputes no shortest paths at all.  The
+        # phase histogram makes that visible per run.
+        with phase_timer("sdn_te.reconfigure"):
+            if congested:
+                _C_RECONFIG_CONGESTED.inc()
+                te = rebalance_excluding_links(self.topo, flows, congested,
+                                               k=self.k_paths, assign=False)
+            else:
+                _C_RECONFIG_STEADY.inc()
+                te = greedy_min_max_te(self.topo, flows, k=self.k_paths,
+                                       assign=False)
 
         record = ReconfigRecord(
             time=now, congested_links=sorted(congested),

@@ -268,7 +268,7 @@ class CongestionRerouteBooster(Booster):
             # would make the whole steered herd oscillate between
             # equally attractive detours.
             current_util = max(topo.link(a, b).utilization
-                               for a, b in flow.path.links())
+                               for a, b in flow.path.link_keys)
             if current_util < self.re_steer_threshold:
                 return
             candidate_util = max(topo.link(a, b).utilization
@@ -296,6 +296,8 @@ class CongestionRerouteBooster(Booster):
         probe origin — what hop-by-hop forwarding would do."""
         path = [start]
         current = start
+        # switch_names sorts on every access; hoist the hop budget.
+        max_hops = len(topo.switch_names) + 1
         while current != origin:
             program = self.programs.get(current)
             if program is None:
@@ -305,7 +307,7 @@ class CongestionRerouteBooster(Booster):
                 return None
             path.append(entry.next_hop)
             current = entry.next_hop
-            if len(path) > len(topo.switch_names) + 1:
+            if len(path) > max_hops:
                 return None
         return path
 

@@ -42,7 +42,7 @@ def link_loads(topo: Topology, flows: Iterable[Flow]) -> Dict[LinkKey, float]:
     for flow in flows:
         if flow.path is None:
             continue
-        for key in flow.path.links():
+        for key in flow.path.link_keys:
             load[key] += flow.demand_bps
     return load
 
@@ -76,18 +76,16 @@ def greedy_min_max_te(topo: Topology, flows: List[Flow], k: int = 4,
 
     # Deterministic order: big flows first, ties by flow id.
     ordered = sorted(flows, key=lambda f: (-f.demand_bps, f.flow_id))
-    candidate_cache: Dict[Tuple[str, str], List[Path]] = {}
-
+    # Candidate sets come from the topology's versioned route cache:
+    # repeated TE passes (and repeated commodities within one pass) cost
+    # a memo lookup unless the candidates' links actually changed.
     for flow in ordered:
-        endpoints = (flow.src, flow.dst)
-        if endpoints not in candidate_cache:
-            candidate_cache[endpoints] = k_shortest_paths(
-                topo, flow.src, flow.dst, k)
+        candidates = k_shortest_paths(topo, flow.src, flow.dst, k)
         best_path: Optional[Path] = None
         best_cost: Tuple[float, float] = (float("inf"), float("inf"))
-        for path in candidate_cache[endpoints]:
+        for path in candidates:
             worst = 0.0
-            for key in path.links():
+            for key in path.link_keys:
                 worst = max(worst,
                             (load[key] + flow.demand_bps) / capacities[key])
             cost = (worst, path.latency(topo))
@@ -96,7 +94,7 @@ def greedy_min_max_te(topo: Topology, flows: List[Flow], k: int = 4,
                 best_path = path
         assert best_path is not None  # k >= 1 guarantees a candidate
         result.paths[flow.flow_id] = best_path
-        for key in best_path.links():
+        for key in best_path.link_keys:
             load[key] += flow.demand_bps
         if assign:
             flow.set_path(best_path)
@@ -126,13 +124,13 @@ def rebalance_excluding_links(topo: Topology, flows: List[Flow],
     for flow in ordered:
         candidates = k_shortest_paths(topo, flow.src, flow.dst, k)
         allowed = [p for p in candidates
-                   if not any(key in banned for key in p.links())]
+                   if not any(key in banned for key in p.link_keys)]
         if not allowed:
             allowed = candidates
         best_path, best_cost = None, (float("inf"), float("inf"))
         for path in allowed:
             worst = 0.0
-            for key in path.links():
+            for key in path.link_keys:
                 worst = max(worst,
                             (load[key] + flow.demand_bps) / capacities[key])
             cost = (worst, path.latency(topo))
@@ -140,7 +138,7 @@ def rebalance_excluding_links(topo: Topology, flows: List[Flow],
                 best_cost, best_path = cost, path
         assert best_path is not None
         result.paths[flow.flow_id] = best_path
-        for key in best_path.links():
+        for key in best_path.link_keys:
             load[key] += flow.demand_bps
         if assign:
             flow.set_path(best_path)

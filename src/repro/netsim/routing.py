@@ -10,7 +10,13 @@ bulk traffic and control traffic):
   switches, used by packet-level traffic (probes, traceroutes, ICMP,
   mode-change messages).
 
-This module computes both from the topology graph.
+This module computes both.  Path queries are served by the versioned
+:mod:`routecache` layer — native heap Dijkstra trees and a Yen's
+k-shortest-paths kernel memoized on ``Topology.version`` — instead of
+rebuilding a networkx graph and recomputing from scratch per call.  The
+original networkx implementations are kept as ``*_reference`` for the
+equivalence property tests (``tests/netsim/test_routing_equivalence.py``)
+and as the baseline the routing microbenchmark measures against.
 """
 
 from __future__ import annotations
@@ -39,9 +45,12 @@ class Path:
         if len(set(self.nodes)) != len(self.nodes):
             raise ValueError(f"path has a loop: {self.nodes}")
         # Paths are immutable, so the link keys can be materialized once;
-        # the fluid allocator reads them on every pass (hot path).
-        object.__setattr__(self, "_link_keys",
-                           tuple(zip(self.nodes, self.nodes[1:])))
+        # the fluid allocator reads them on every pass (hot path).  The
+        # frozenset backs O(1) ``contains_link`` membership — reroute
+        # boosters ask it per flow per detection.
+        link_keys = tuple(zip(self.nodes, self.nodes[1:]))
+        object.__setattr__(self, "_link_keys", link_keys)
+        object.__setattr__(self, "_link_key_set", frozenset(link_keys))
 
     @classmethod
     def of(cls, nodes: Sequence[str]) -> "Path":
@@ -73,7 +82,7 @@ class Path:
 
     def contains_link(self, a: str, b: str,
                       either_direction: bool = True) -> bool:
-        links = self.link_keys
+        links = self._link_key_set  # type: ignore[attr-defined]
         if (a, b) in links:
             return True
         return either_direction and (b, a) in links
@@ -97,31 +106,75 @@ class Path:
 
 
 # ----------------------------------------------------------------------
-# Path computation
+# Path computation (cache-served; *_reference = original networkx)
 # ----------------------------------------------------------------------
 def shortest_path(topo: Topology, src: str, dst: str) -> Path:
     """The delay-weighted shortest path."""
+    nodes = topo.route_cache.shortest_node_path(src, dst)
+    if nodes is None:
+        raise NoRouteError(f"no path {src} -> {dst}")
+    return Path(nodes)
+
+
+def shortest_path_reference(topo: Topology, src: str, dst: str) -> Path:
+    """Original uncached networkx implementation (kept for equivalence
+    tests and benchmarks; rebuilds the graph on every call)."""
     try:
-        nodes = nx.shortest_path(topo.graph(), src, dst, weight="weight")
+        nodes = nx.shortest_path(topo.build_graph(), src, dst,
+                                 weight="weight")
     except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
         raise NoRouteError(f"no path {src} -> {dst}") from exc
     return Path.of(nodes)
 
 
 def all_shortest_paths(topo: Topology, src: str, dst: str) -> List[Path]:
+    """Every equal-cost shortest path (deterministic sorted-DFS order)."""
+    node_paths = topo.route_cache.all_shortest_node_paths(src, dst)
+    if node_paths is None:
+        raise NoRouteError(f"no path {src} -> {dst}")
+    return [Path(nodes) for nodes in node_paths]
+
+
+def all_shortest_paths_reference(topo: Topology, src: str,
+                                 dst: str) -> List[Path]:
+    """Original uncached networkx implementation."""
     try:
-        paths = nx.all_shortest_paths(topo.graph(), src, dst, weight="weight")
+        paths = nx.all_shortest_paths(topo.build_graph(), src, dst,
+                                      weight="weight")
         return [Path.of(p) for p in paths]
     except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
         raise NoRouteError(f"no path {src} -> {dst}") from exc
 
 
 def k_shortest_paths(topo: Topology, src: str, dst: str, k: int) -> List[Path]:
-    """Up to ``k`` loop-free paths in increasing delay order (Yen's)."""
+    """Up to ``k`` loop-free paths in increasing delay order (Yen's).
+
+    Served from the per-(src, dst, k) candidate memo: a periodic TE pass
+    re-requesting unchanged commodities costs a dictionary lookup.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    if src == dst:
+        raise ValueError(
+            f"k_shortest_paths needs two distinct endpoints, got "
+            f"src == dst == {src!r}")
+    node_paths = topo.route_cache.k_shortest_node_paths(src, dst, k)
+    if node_paths is None:
+        raise NoRouteError(f"no path {src} -> {dst}")
+    return [Path(nodes) for nodes in node_paths]
+
+
+def k_shortest_paths_reference(topo: Topology, src: str, dst: str,
+                               k: int) -> List[Path]:
+    """Original uncached networkx (Yen's) implementation."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if src == dst:
+        raise ValueError(
+            f"k_shortest_paths needs two distinct endpoints, got "
+            f"src == dst == {src!r}")
     try:
-        generator = nx.shortest_simple_paths(topo.graph(), src, dst,
+        generator = nx.shortest_simple_paths(topo.build_graph(), src, dst,
                                              weight="weight")
         result = []
         for nodes in generator:
@@ -153,11 +206,37 @@ def install_host_routes(topo: Topology,
     With ``ecmp=True`` every equal-cost next hop is installed; otherwise
     only the first shortest path's.  Returns the table that was installed,
     keyed ``switch -> dst_host -> [next hops]`` (handy for tests).
+
+    One cached SSSP tree per host serves every switch's next hops toward
+    it — and the same trees back later ``shortest_path`` queries and
+    Yen spur computations for free.
     """
-    graph = topo.graph()
+    cache = topo.route_cache
+    switch_names = topo.switch_names
     installed: Dict[str, Dict[str, List[str]]] = {}
     for host in topo.host_names:
         # Predecessor-based next hops toward `host` from every switch.
+        preds = cache.sssp_tree(host).preds
+        for sw_name in switch_names:
+            pred_list = preds.get(sw_name)
+            if not pred_list:
+                continue
+            next_hops = sorted(pred_list)
+            if not ecmp:
+                next_hops = next_hops[:1]
+            switch = topo.switch(sw_name)
+            switch.set_route(host, next_hops)
+            installed.setdefault(sw_name, {})[host] = next_hops
+    return installed
+
+
+def install_host_routes_reference(
+        topo: Topology, ecmp: bool = True) -> Dict[str, Dict[str, List[str]]]:
+    """Original uncached networkx implementation (one
+    ``dijkstra_predecessor_and_distance`` per host per call)."""
+    graph = topo.build_graph()
+    installed: Dict[str, Dict[str, List[str]]] = {}
+    for host in topo.host_names:
         preds, _ = nx.dijkstra_predecessor_and_distance(
             graph, host, weight="weight")
         for sw_name in topo.switch_names:
@@ -180,7 +259,29 @@ def install_switch_routes(topo: Topology,
     unicast mode probes) needs multi-hop routes between switches;
     :func:`install_host_routes` only covers host destinations.
     """
-    graph = topo.graph()
+    cache = topo.route_cache
+    switch_names = topo.switch_names
+    installed: Dict[str, Dict[str, List[str]]] = {}
+    for target in switch_names:
+        preds = cache.sssp_tree(target).preds
+        for sw_name in switch_names:
+            if sw_name == target:
+                continue
+            pred_list = preds.get(sw_name)
+            if not pred_list:
+                continue
+            next_hops = sorted(pred_list)
+            if not ecmp:
+                next_hops = next_hops[:1]
+            topo.switch(sw_name).set_route(target, next_hops)
+            installed.setdefault(sw_name, {})[target] = next_hops
+    return installed
+
+
+def install_switch_routes_reference(
+        topo: Topology, ecmp: bool = True) -> Dict[str, Dict[str, List[str]]]:
+    """Original uncached networkx implementation."""
+    graph = topo.build_graph()
     installed: Dict[str, Dict[str, List[str]]] = {}
     for target in topo.switch_names:
         preds, _ = nx.dijkstra_predecessor_and_distance(
@@ -205,7 +306,7 @@ def install_path_route(topo: Topology, path: Path, dst: Optional[str] = None
     packet-level traffic follows the same route the fluid model charges.
     """
     target = dst if dst is not None else path.dst
-    for here, nxt in path.links():
+    for here, nxt in path.link_keys:
         node = topo.node(here)
         if hasattr(node, "set_route"):
             node.set_route(target, [nxt])
@@ -219,7 +320,7 @@ def install_flow_route(topo: Topology, path: Path) -> None:
     the attacker's traceroutes) follow the paths the fluid model charges.
     """
     pair = (path.src, path.dst)
-    for here, nxt in path.links():
+    for here, nxt in path.link_keys:
         node = topo.node(here)
         if hasattr(node, "flow_routes"):
             node.flow_routes[pair] = nxt
@@ -272,8 +373,50 @@ def install_fast_reroute_alternates(topo: Topology) -> None:
     shortest path toward ``d`` does not come back through ``S`` (no
     micro-loops) and, because it is a strict detour-free inequality,
     typically avoids the failed region entirely.
+
+    Distances come from the cached per-switch SSSP trees (the same trees
+    :func:`install_switch_routes` populates), replacing the former
+    all-pairs networkx Dijkstra.
     """
-    graph = topo.graph()
+    cache = topo.route_cache
+    destinations = topo.host_names + topo.switch_names
+    switch_names = set(topo.switch_names)
+    dist: Dict[str, Dict[str, float]] = {}
+
+    def dist_from(root: str) -> Dict[str, float]:
+        table = dist.get(root)
+        if table is None:
+            table = cache.sssp_tree(root).dist
+            dist[root] = table
+        return table
+
+    for sw_name in topo.switch_names:
+        switch = topo.switch(sw_name)
+        switch_neighbors = [n for n in switch.neighbors
+                            if n in switch_names]
+        sw_dist = dist_from(sw_name)
+        for primary in switch.neighbors:
+            candidates = [n for n in switch_neighbors if n != primary]
+            if not candidates:
+                continue
+            for dst in destinations:
+                if dst == sw_name:
+                    continue
+                loop_free = [
+                    n for n in candidates
+                    if dst in dist_from(n)
+                    and dist_from(n)[dst] < dist_from(n)[sw_name]
+                    + sw_dist[dst]
+                ]
+                if not loop_free:
+                    continue
+                best = min(loop_free, key=lambda n: (dist_from(n)[dst], n))
+                switch.frr_dst[(primary, dst)] = best
+
+
+def install_fast_reroute_alternates_reference(topo: Topology) -> None:
+    """Original uncached networkx implementation (all-pairs Dijkstra)."""
+    graph = topo.build_graph()
     dist = dict(nx.all_pairs_dijkstra_path_length(graph, weight="weight"))
     destinations = topo.host_names + topo.switch_names
     for sw_name in topo.switch_names:

@@ -23,6 +23,7 @@ from ..dataplane.resources import ResourceVector, TOFINO_LIKE
 from .engine import Simulator
 from .links import Link
 from .node import Host, Node
+from .routecache import RouteCache
 from .switch import ProgrammableSwitch
 
 GBPS = 1e9
@@ -45,6 +46,10 @@ class Topology:
         #: decide whether a cached allocation is still valid, so all
         #: runtime mutations must go through the Topology/Link APIs.
         self.version = 0
+        #: Versioned routing cache: graph snapshot, native SSSP trees,
+        #: and k-shortest-path candidate memos, all invalidated off
+        #: ``version`` (see DESIGN.md "Routing cache").
+        self.route_cache = RouteCache(self)
 
     def _mark_mutated(self, *_args) -> None:
         self.version += 1
@@ -188,7 +193,14 @@ class Topology:
         Edge weight is the propagation delay, which makes shortest-path
         routing latency-optimal (the forward direction's parameters are
         used; duplex links are symmetric by construction).
+
+        The returned graph is memoized per :attr:`version` — treat it as
+        read-only.  Use :meth:`build_graph` for a private mutable copy.
         """
+        return self.route_cache.graph()
+
+    def build_graph(self) -> nx.Graph:
+        """Build a fresh (uncached) networkx export of the topology."""
         g = nx.Graph()
         for name, node in self.nodes.items():
             g.add_node(name, is_switch=isinstance(node, ProgrammableSwitch))
