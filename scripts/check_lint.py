@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate CI on reprolint: zero findings beyond the committed baseline.
+
+Runs the in-tree linter (``repro.lint``) over ``src`` and diffs the
+result against ``reprolint_baseline.json``.  The gate is "zero **new**
+findings": anything grandfathered in the baseline passes, anything else
+fails with a message naming the offending rule and file.  Stale
+baseline entries (fixed findings still listed) are reported so the
+baseline shrinks over time instead of fossilizing.
+
+Usage::
+
+    python scripts/check_lint.py
+    python scripts/check_lint.py --root /path/to/tree   # for tests
+"""
+
+import argparse
+import os
+from pathlib import Path
+import sys
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint import (lint_paths, load_baseline,  # noqa: E402
+                        split_by_baseline)
+
+BASELINE_NAME = "reprolint_baseline.json"
+
+
+def check(root: Path, baseline_path: Path):
+    """Returns (failures, notes) for the tree rooted at ``root``."""
+    failures = []
+    notes = []
+    src = root / "src"
+    if not src.is_dir():
+        return [f"no src/ directory under {root}"], notes
+
+    # Lint from inside the root with a relative path so baseline keys
+    # (which embed paths) are machine-independent and committable.
+    os.chdir(root)
+    result = lint_paths(["src"])
+    for path, error in result.parse_errors:
+        failures.append(f"parse error in {path}: {error}")
+
+    baseline = {}
+    if baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            return [str(exc)], notes
+    new, grandfathered, stale = split_by_baseline(result.findings,
+                                                  baseline)
+    for finding in new:
+        failures.append(
+            f"new {finding.rule} finding in {finding.path}:"
+            f"{finding.line}: {finding.message}")
+    if grandfathered:
+        notes.append(f"{len(grandfathered)} baselined finding(s) "
+                     f"grandfathered")
+    if stale:
+        notes.append(
+            f"{len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} no longer produced "
+            f"({', '.join(stale[:5])}{'...' if len(stale) > 5 else ''}); "
+            f"regenerate with: python -m repro.lint src "
+            f"--baseline {BASELINE_NAME} --write-baseline")
+    notes.append(f"{result.files_checked} file(s) checked, "
+                 f"{result.suppressed} finding(s) suppressed inline")
+    return failures, notes
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="tree to lint (default: this repository)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: "
+                             f"<root>/{BASELINE_NAME})")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    baseline_path = (args.baseline if args.baseline is not None
+                     else root / BASELINE_NAME)
+    failures, notes = check(root, baseline_path)
+    for note in notes:
+        print(f"check_lint: {note}")
+    if failures:
+        for failure in failures:
+            print(f"check_lint: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("check_lint: OK: no findings beyond the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

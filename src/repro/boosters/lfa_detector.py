@@ -265,7 +265,10 @@ class LfaDetectorBooster(Booster):
         """Revert to the default mode once the attack traffic is gone
         (Figure 2's step 6: 'as soon as attacks subside')."""
         sim = deployment.topo.sim
-        assert self._initiated is not None
+        if self._initiated is None:
+            raise RuntimeError(
+                "_check_subsided called before any mode initiation was "
+                "recorded; detection must initiate a mode first")
         _, attack_rate_at_detection = self._initiated
         # Offered (pre-policing) demand: what the attacker still sends,
         # regardless of how much of it the dropper lets through.

@@ -21,7 +21,7 @@ from typing import Callable, List, Optional
 
 from ..netsim.switch import ProgrammableSwitch, SwitchProgram
 from ..netsim.topology import Topology
-from ..telemetry import metrics, trace
+from ..telemetry import DEFAULT_BUCKETS, metrics, trace
 from .state_transfer import StateTransferService, TransferResult
 
 #: Program factory used by scale-out: builds a fresh runtime instance.
@@ -35,7 +35,8 @@ _C_SCALE_OUTS = _MET.counter(
     "scale_out_operations_total", "booster replications onto new switches")
 _H_DOWNTIME = _MET.histogram(
     "repurpose_downtime_seconds",
-    "announced reconfiguration downtime per repurposing (0 for hitless)")
+    "announced reconfiguration downtime per repurposing (0 for hitless)",
+    buckets=DEFAULT_BUCKETS)
 
 
 @dataclass

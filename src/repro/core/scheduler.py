@@ -182,9 +182,13 @@ class Scheduler:
         """
         support_by_name = {s.qualified_name: s for s in support}
         for spec in specs:
+            # Sorted: dependency order drives _try_assign attempts, so a
+            # hash-randomized set union here would make placements
+            # differ between processes.
             deps = [support_by_name[n]
-                    for n in (set(merged.merged.predecessors(
-                        spec.qualified_name))
+                    for n in sorted(
+                        set(merged.merged.predecessors(
+                            spec.qualified_name))
                         | set(merged.merged.successors(spec.qualified_name)))
                     if n in support_by_name]
             for switch in sorted(ledgers):

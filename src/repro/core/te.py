@@ -92,7 +92,11 @@ def greedy_min_max_te(topo: Topology, flows: List[Flow], k: int = 4,
             if cost < best_cost:
                 best_cost = cost
                 best_path = path
-        assert best_path is not None  # k >= 1 guarantees a candidate
+        if best_path is None:
+            raise RuntimeError(
+                f"TE found no candidate path for flow {flow.flow_id} "
+                f"({flow.src}->{flow.dst}) with k={k}; the topology "
+                f"must connect every commodity's endpoints")
         result.paths[flow.flow_id] = best_path
         for key in best_path.link_keys:
             load[key] += flow.demand_bps
@@ -136,7 +140,11 @@ def rebalance_excluding_links(topo: Topology, flows: List[Flow],
             cost = (worst, path.latency(topo))
             if cost < best_cost:
                 best_cost, best_path = cost, path
-        assert best_path is not None
+        if best_path is None:
+            raise RuntimeError(
+                f"rebalance found no path for flow {flow.flow_id} "
+                f"({flow.src}->{flow.dst}) even among unrestricted "
+                f"candidates (k={k})")
         result.paths[flow.flow_id] = best_path
         for key in best_path.link_keys:
             load[key] += flow.demand_bps

@@ -30,11 +30,21 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from ..dataplane.resources import ResourceVector, TOFINO_LIKE
+from ..telemetry import metrics
 from .analyzer import ProgramAnalyzer
 from .booster import Booster
 from .dataflow import DataflowGraph
 from .modes import DEFAULT_MODE
 from .ppm import PpmKind, PpmRole
+
+# Verification aborts (a booster's own code raising mid-check) must be
+# countable per run: a sweep that silently degrades every finding to
+# "dataflow() raised" would otherwise look like a clean catalog with
+# one odd error finding.
+_C_VERIFY_ABORTS = metrics().counter(
+    "verify_aborts_total",
+    "verification passes aborted by an exception, by failing check",
+    labelnames=("check",))
 
 
 class Severity(enum.Enum):
@@ -100,7 +110,15 @@ class BoosterVerifier:
                        "booster has no name; it cannot be gated by modes")
         try:
             graph = booster.dataflow()
+        except (ValueError, KeyError) as exc:
+            # Known failure shape: graph construction rejecting its own
+            # inputs (cycles, duplicate PPM names, missing wiring).
+            _C_VERIFY_ABORTS.labels("dataflow").inc()
+            report.add(Severity.ERROR, name, "dataflow",
+                       f"dataflow() rejected its own spec: {exc!r}")
+            return report
         except Exception as exc:  # noqa: BLE001 - surface as a finding
+            _C_VERIFY_ABORTS.labels("dataflow").inc()
             report.add(Severity.ERROR, name, "dataflow",
                        f"dataflow() raised: {exc!r}")
             return report
@@ -235,7 +253,15 @@ class BoosterVerifier:
         try:
             merged = ProgramAnalyzer().merge(
                 [b.dataflow() for b in boosters])
+        except ValueError as exc:
+            # Known failure shape: the analyzer refusing to merge
+            # conflicting graphs (name clashes across boosters).
+            _C_VERIFY_ABORTS.labels("composition").inc()
+            report.add(Severity.ERROR, "<catalog>", "composition",
+                       f"catalog merge rejected: {exc!r}")
+            return report
         except Exception as exc:  # noqa: BLE001
+            _C_VERIFY_ABORTS.labels("composition").inc()
             report.add(Severity.ERROR, "<catalog>", "composition",
                        f"joint analysis failed: {exc!r}")
             return report

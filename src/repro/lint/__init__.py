@@ -1,0 +1,23 @@
+"""reprolint: AST-based enforcement of the repo's determinism, telemetry,
+and mutation contracts.
+
+Usage::
+
+    python -m repro.lint [paths] [--json] [--baseline FILE]
+                         [--select RPL001,...] [--ignore RPL005]
+
+See :mod:`repro.lint.core` for the framework, :mod:`repro.lint.rules`
+for the individual contracts, and DESIGN.md "Enforced invariants" for
+the rule table.
+"""
+
+from .baseline import load_baseline, split_by_baseline, write_baseline
+from .core import (Finding, FileContext, LintResult, Rule, all_rules,
+                   lint_paths, lint_source, register, rule_codes,
+                   select_rules)
+
+__all__ = [
+    "FileContext", "Finding", "LintResult", "Rule", "all_rules",
+    "lint_paths", "lint_source", "load_baseline", "register",
+    "rule_codes", "select_rules", "split_by_baseline", "write_baseline",
+]

@@ -1,0 +1,79 @@
+"""Baseline files: grandfathering known findings without hiding new ones.
+
+A baseline is a committed JSON file mapping each finding's stable key
+(``RULE:path:line``) to its message.  ``--baseline FILE`` subtracts
+baselined findings from a run; anything *not* in the baseline still
+fails, so the gate is "zero **new** findings" rather than "zero
+findings" — the standard way to adopt a linter on a tree with history.
+
+This repo's committed baseline (``reprolint_baseline.json``) is empty:
+every true positive the first full run surfaced was fixed in the same
+PR.  The machinery stays because future rules will land against a tree
+with violations, and because tests exercise the mechanics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, str]:
+    """The key -> message map from a baseline file.
+
+    Raises ValueError on malformed content (a truncated baseline must
+    fail the gate, not silently grandfather nothing).
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(raw)
+    except ValueError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(
+            f"baseline {path} has no 'findings' key; "
+            f"regenerate it with --write-baseline")
+    findings = data["findings"]
+    if not isinstance(findings, dict):
+        raise ValueError(f"baseline {path}: 'findings' must be an object")
+    return {str(k): str(v) for k, v in findings.items()}
+
+
+def write_baseline(path: Union[str, Path],
+                   findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted keys)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": {f.baseline_key: f.message for f in sorted(findings)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def split_by_baseline(findings: Sequence[Finding],
+                      baseline: Dict[str, str]
+                      ) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Partition findings against a baseline.
+
+    Returns ``(new, grandfathered, stale_keys)`` where ``stale_keys``
+    are baseline entries no longer produced — fixed or moved findings
+    the baseline should be regenerated without.
+    """
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    seen = set()
+    for finding in findings:
+        key = finding.baseline_key
+        if key in baseline:
+            grandfathered.append(finding)
+            seen.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - seen)
+    return new, grandfathered, stale

@@ -1,0 +1,89 @@
+"""Shared AST helpers for reprolint rules.
+
+The rules that guard module APIs (``random``, ``time``, ``datetime``,
+``numpy.random``) need to see through import aliasing: ``import random
+as rnd`` followed by ``rnd.random()`` is the same contract violation as
+the unaliased call.  :class:`ImportMap` records, per file, which local
+names are bound to which canonical dotted modules (and which names were
+``from``-imported from them), so rules resolve every call head back to
+its canonical module path before matching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+
+def dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")`` for pure Name/Attribute chains."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+class ImportMap:
+    """Local-name bindings for modules and from-imported symbols."""
+
+    def __init__(self, tree: ast.Module):
+        #: local alias -> canonical dotted module ("np" -> "numpy").
+        self.modules: Dict[str, str] = {}
+        #: local name -> (canonical module, original symbol name).
+        self.symbols: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    # `import numpy.random` binds "numpy"; with asname
+                    # the alias names the full dotted submodule.
+                    self.modules[local] = (item.name if item.asname
+                                          else item.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for item in node.names:
+                    local = item.asname or item.name
+                    self.symbols[local] = (node.module, item.name)
+
+    def resolve_call(self, func: ast.AST) -> Optional[Tuple[str, str]]:
+        """Canonical ``(module, symbol)`` for a call's func expression.
+
+        ``rnd.Random`` -> ("random", "Random"); with ``from random
+        import Random as R``, ``R`` -> ("random", "Random"); for
+        ``np.random.rand`` -> ("numpy.random", "rand").  None when the
+        head is not an imported module/symbol.
+        """
+        parts = dotted_parts(func)
+        if parts is None:
+            return None
+        head = parts[0]
+        if len(parts) == 1:
+            entry = self.symbols.get(head)
+            return entry
+        module = self.modules.get(head)
+        if module is None:
+            symbol = self.symbols.get(head)
+            if symbol is None:
+                return None
+            # `from numpy import random as nr; nr.rand()` — the symbol
+            # is itself a module; extend the dotted path through it.
+            module = f"{symbol[0]}.{symbol[1]}"
+        dotted = (module,) + parts[1:]
+        return ".".join(dotted[:-1]), dotted[-1]
+
+    def from_imports_of(self, tree: ast.Module,
+                        module: str) -> Iterator[ast.ImportFrom]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == module \
+                    and node.level == 0:
+                yield node
+
+
+def iter_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

@@ -107,7 +107,9 @@ class ThroughputMeter:
 
     def _roll_window(self) -> None:
         now = self.sim.now
-        for src in set(self._window_packets) | set(self.windows):
+        # Sorted so self.windows' key insertion order (and anything
+        # downstream that walks it) is independent of string hashing.
+        for src in sorted(set(self._window_packets) | set(self.windows)):
             self.windows[src].append(MeterWindow(
                 start=self._window_start, end=now,
                 packets=self._window_packets.get(src, 0),

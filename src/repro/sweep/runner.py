@@ -33,6 +33,7 @@ aggregates and merged snapshots for the same spec.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 import json
 import os
@@ -48,6 +49,14 @@ from .spec import SweepSpec, SweepTask
 
 TASK_DIR = "tasks"
 SUMMARY_NAME = "sweep_summary.json"
+
+# Counted in the *coordinator* process, so task failures are visible in
+# its --metrics snapshot without polluting the merged per-task metrics
+# (those come exclusively from worker snapshots in the task records).
+_C_TASK_ERRORS = telemetry.metrics().counter(
+    "sweep_task_errors_total",
+    "sweep tasks that raised instead of completing, by exception type",
+    labelnames=("kind",))
 
 #: Metric families that measure *wall-clock* time and therefore cannot
 #: be identical across executions; everything else in a sweep's merged
@@ -115,7 +124,10 @@ def run_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                      payload["logical_seed"], payload["seed"])
     telemetry.reset()
     driver = resolve_driver(task.experiment)
-    started = time.perf_counter()
+    # Wall-clock by design: per-task wall_seconds is operator-facing
+    # profiling data, excluded from every determinism comparison
+    # (aggregate_records drops it; see WALL_CLOCK_METRICS).
+    started = time.perf_counter()  # reprolint: disable=RPL002
     result = driver(task.seed, task.param_dict)
     record = {
         "task_id": task.task_id,
@@ -125,7 +137,7 @@ def run_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "params": task.param_dict,
         "logical_seed": task.logical_seed,
         "seed": task.seed,
-        "wall_seconds": time.perf_counter() - started,
+        "wall_seconds": time.perf_counter() - started,  # reprolint: disable=RPL002
         "result": result,
         "metrics": telemetry.metrics().snapshot(),
     }
@@ -183,7 +195,8 @@ def run_sweep(spec: SweepSpec, out_dir=None, workers: int = 1,
     say = progress if progress is not None else (lambda message: None)
     out_path = None if out_dir is None else Path(out_dir)
     tasks = spec.tasks()
-    started = time.perf_counter()
+    # Sweep-level wall time: reporting only, never aggregated.
+    started = time.perf_counter()  # reprolint: disable=RPL002
 
     done: Dict[str, Dict[str, Any]] = {}
     pending: List[SweepTask] = []
@@ -216,7 +229,19 @@ def run_sweep(spec: SweepSpec, out_dir=None, workers: int = 1,
                 try:
                     done[task.task_id] = future.result()
                     say(f"[sweep] done {task.task_id}")
+                except BrokenProcessPool as exc:
+                    # Known failure shape: a worker died (OOM/segfault)
+                    # and every not-yet-collected future fails with it.
+                    _C_TASK_ERRORS.labels("BrokenProcessPool").inc()
+                    errors.append(
+                        {"task_id": task.task_id,
+                         "error": f"worker process died before "
+                                  f"completing this task: {exc}"})
+                    say(f"[sweep] FAILED {task.task_id}: worker died")
                 except Exception as exc:
+                    # Unexpected driver failure: count it into telemetry
+                    # before swallowing so --metrics shows the loss.
+                    _C_TASK_ERRORS.labels(type(exc).__name__).inc()
                     errors.append(
                         {"task_id": task.task_id,
                          "error": f"{type(exc).__name__}: {exc}"})
@@ -227,7 +252,17 @@ def run_sweep(spec: SweepSpec, out_dir=None, workers: int = 1,
             try:
                 done[task.task_id] = run_task(
                     _task_payload(task, out_path))
-            except Exception as exc:  # record and keep sweeping
+            except (KeyError, ValueError, TypeError) as exc:
+                # Known failure shapes: unknown driver name, a parameter
+                # point the driver rejects, or a bad signature.
+                _C_TASK_ERRORS.labels(type(exc).__name__).inc()
+                errors.append({"task_id": task.task_id,
+                               "error": f"{type(exc).__name__}: {exc}"})
+                say(f"[sweep] FAILED {task.task_id}: {exc}")
+            except Exception as exc:
+                # Unexpected: still recorded into telemetry and the
+                # error list before the sweep moves on.
+                _C_TASK_ERRORS.labels(type(exc).__name__).inc()
                 errors.append({"task_id": task.task_id,
                                "error": f"{type(exc).__name__}: {exc}"})
                 say(f"[sweep] FAILED {task.task_id}: {exc}")
@@ -240,7 +275,7 @@ def run_sweep(spec: SweepSpec, out_dir=None, workers: int = 1,
         aggregates=aggregate_records(records),
         merged_metrics=merged,
         executed=len(records) - skipped, skipped=skipped,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=time.perf_counter() - started,  # reprolint: disable=RPL002
         out_dir=out_path, errors=errors)
     if out_path is not None:
         result.write_summary(out_path / SUMMARY_NAME)

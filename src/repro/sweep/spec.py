@@ -63,7 +63,8 @@ def parse_seeds(text: str) -> List[int]:
             raise ValueError(f"bad seed range {text!r}; want START:STOP "
                              f"or START:STOP:STEP")
         bounds = [int(p) for p in parts]
-        seeds = list(range(*bounds))
+        step = bounds[2] if len(bounds) == 3 else 1
+        seeds = list(range(bounds[0], bounds[1], step))
         if not seeds:
             raise ValueError(f"seed range {text!r} is empty")
         return seeds
@@ -138,7 +139,7 @@ class SweepSpec:
     #: derived one — for reproducing historical runs keyed on raw seeds.
     raw_seeds: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.seeds:
             raise ValueError("a sweep needs at least one seed")
         if len(set(self.seeds)) != len(self.seeds):
@@ -158,7 +159,7 @@ class SweepSpec:
 
     def tasks(self) -> List[SweepTask]:
         """The full, deterministically ordered task list."""
-        tasks = []
+        tasks: List[SweepTask] = []
         for point in self.points():
             frozen = tuple(sorted(point.items()))
             for logical in self.seeds:

@@ -24,16 +24,16 @@ The package is dependency-free and imports nothing from the rest of
 experiments) may use it without import cycles.
 """
 
-from .registry import (Counter, Gauge, Histogram, MetricError, Metric,
-                       MetricsRegistry)
+from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                       MetricError, Metric, MetricsRegistry)
 from .timers import PHASE_METRIC, PhaseTiming, phase_histogram, phase_timer
 from .trace import NULL_TRACE, EventTrace, TraceEvent
 
 __all__ = [
-    "Counter", "EventTrace", "Gauge", "Histogram", "Metric", "MetricError",
-    "MetricsRegistry", "NULL_TRACE", "PHASE_METRIC", "PhaseTiming",
-    "TraceEvent", "metrics", "phase_histogram", "phase_timer", "reset",
-    "trace",
+    "Counter", "DEFAULT_BUCKETS", "EventTrace", "Gauge", "Histogram",
+    "Metric", "MetricError", "MetricsRegistry", "NULL_TRACE",
+    "PHASE_METRIC", "PhaseTiming", "TraceEvent", "metrics",
+    "phase_histogram", "phase_timer", "reset", "trace",
 ]
 
 #: The process-wide default instances.  Created once and never replaced

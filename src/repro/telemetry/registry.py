@@ -25,7 +25,8 @@ from __future__ import annotations
 import bisect
 import json
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple,
+                    Type, cast)
 
 LabelValues = Tuple[str, ...]
 
@@ -49,7 +50,7 @@ class Metric:
     kind = "metric"
 
     def __init__(self, name: str, description: str = "",
-                 labelnames: Iterable[str] = ()):
+                 labelnames: Iterable[str] = ()) -> None:
         self.name = name
         self.description = description
         self.labelnames: Tuple[str, ...] = tuple(labelnames)
@@ -95,7 +96,7 @@ class Metric:
     def _reset_value(self) -> None:
         raise NotImplementedError
 
-    def snapshot(self):
+    def snapshot(self) -> Dict[str, Any]:
         """JSON-serializable view of this family.
 
         The view is *round-trippable*: it carries the label names (and,
@@ -103,7 +104,8 @@ class Metric:
         one process can be folded into another process's registry with
         :meth:`MetricsRegistry.merge`.
         """
-        data = {"kind": self.kind, "value": self._snap_value()}
+        data: Dict[str, Any] = {"kind": self.kind,
+                                "value": self._snap_value()}
         if self.description:
             data["description"] = self.description
         if self.labelnames:
@@ -113,10 +115,10 @@ class Metric:
                 for values, child in sorted(self._children.items())}
         return data
 
-    def _snap_value(self):
+    def _snap_value(self) -> Any:
         raise NotImplementedError
 
-    def _merge_snap(self, value) -> None:
+    def _merge_snap(self, value: Any) -> None:
         """Fold one snapshot value (the ``_snap_value`` form) into this
         metric.  Merging is additive — see :meth:`MetricsRegistry.merge`
         for the per-kind semantics."""
@@ -129,7 +131,7 @@ class Counter(Metric):
     kind = "counter"
 
     def __init__(self, name: str = "", description: str = "",
-                 labelnames: Iterable[str] = ()):
+                 labelnames: Iterable[str] = ()) -> None:
         super().__init__(name, description, labelnames)
         self.value = 0.0
 
@@ -145,7 +147,7 @@ class Counter(Metric):
     def _snap_value(self) -> float:
         return self.value
 
-    def _merge_snap(self, value) -> None:
+    def _merge_snap(self, value: Any) -> None:
         self.value += float(value)
 
 
@@ -155,7 +157,7 @@ class Gauge(Metric):
     kind = "gauge"
 
     def __init__(self, name: str = "", description: str = "",
-                 labelnames: Iterable[str] = ()):
+                 labelnames: Iterable[str] = ()) -> None:
         super().__init__(name, description, labelnames)
         self.value = 0.0
         self._fn: Optional[Callable[[], float]] = None
@@ -185,7 +187,7 @@ class Gauge(Metric):
             return self._fn()
         return self.value
 
-    def _merge_snap(self, value) -> None:
+    def _merge_snap(self, value: Any) -> None:
         # Gauges merge by summation: for worker-sharded runs the natural
         # reading of e.g. "events executed" or "queue depth" across
         # workers is the total.  Last-value semantics cannot survive a
@@ -201,7 +203,7 @@ class Histogram(Metric):
 
     def __init__(self, name: str = "", description: str = "",
                  labelnames: Iterable[str] = (),
-                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
         super().__init__(name, description, labelnames)
         self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
         if not self.buckets:
@@ -227,7 +229,7 @@ class Histogram(Metric):
         self.sum = 0.0
         self.count = 0
 
-    def _snap_value(self):
+    def _snap_value(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "sum": self.sum,
@@ -241,7 +243,7 @@ class Histogram(Metric):
             },
         }
 
-    def _merge_snap(self, value) -> None:
+    def _merge_snap(self, value: Any) -> None:
         bounds = tuple(value.get("bounds", ()))
         if bounds and bounds != self.buckets:
             raise MetricError(
@@ -258,7 +260,7 @@ class Histogram(Metric):
         self.count += value["count"]
 
 
-def _zero_snap(value) -> bool:
+def _zero_snap(value: Any) -> bool:
     """True when a snapshot value carries no information to merge."""
     if isinstance(value, dict):  # histogram
         return not value.get("count")
@@ -267,7 +269,7 @@ def _zero_snap(value) -> bool:
 
 def _cumulate(counts: Iterable[int]) -> List[int]:
     total = 0
-    out = []
+    out: List[int] = []
     for count in counts:
         total += count
         out.append(total)
@@ -284,18 +286,21 @@ class MetricsRegistry:
     between two call sites is exactly what a registry exists to prevent.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str, description: str = "",
                 labelnames: Iterable[str] = ()) -> Counter:
-        return self._get_or_create(Counter, name, description, labelnames)
+        # _check guarantees the stored metric is a Counter.
+        return cast(Counter, self._get_or_create(
+            Counter, name, description, labelnames))
 
     def gauge(self, name: str, description: str = "",
               labelnames: Iterable[str] = ()) -> Gauge:
-        return self._get_or_create(Gauge, name, description, labelnames)
+        return cast(Gauge, self._get_or_create(
+            Gauge, name, description, labelnames))
 
     def histogram(self, name: str, description: str = "",
                   labelnames: Iterable[str] = (),
@@ -309,9 +314,10 @@ class MetricsRegistry:
                                        buckets=buckets)
                     self._metrics[name] = metric
         self._check(metric, Histogram, name, labelnames)
-        return metric  # type: ignore[return-value]
+        return cast(Histogram, metric)
 
-    def _get_or_create(self, cls, name: str, description: str,
+    def _get_or_create(self, cls: Type[Metric], name: str,
+                       description: str,
                        labelnames: Iterable[str]) -> Metric:
         metric = self._metrics.get(name)
         if metric is None:
@@ -324,7 +330,7 @@ class MetricsRegistry:
         return metric
 
     @staticmethod
-    def _check(metric: Metric, cls, name: str,
+    def _check(metric: Metric, cls: Type[Metric], name: str,
                labelnames: Iterable[str]) -> None:
         if not isinstance(metric, cls):
             raise MetricError(
@@ -356,7 +362,8 @@ class MetricsRegistry:
             metric.reset()
 
     # ------------------------------------------------------------------
-    def merge(self, *snapshots: Dict[str, dict]) -> "MetricsRegistry":
+    def merge(self,
+              *snapshots: Dict[str, Dict[str, Any]]) -> "MetricsRegistry":
         """Fold one or more :meth:`snapshot` dicts into this registry.
 
         This is how per-worker telemetry becomes one sweep-level view:
@@ -386,7 +393,8 @@ class MetricsRegistry:
         sharding the same tasks over a different worker count could
         change the merged snapshot's key set.
         """
-        kinds = {Counter.kind: self.counter, Gauge.kind: self.gauge}
+        kinds: Dict[str, Callable[[str, str, Iterable[str]], Metric]] = {
+            Counter.kind: self.counter, Gauge.kind: self.gauge}
         for snap in snapshots:
             for name in sorted(snap):
                 family = snap[name]
@@ -399,8 +407,9 @@ class MetricsRegistry:
                 if _zero_snap(value) and not live_labels:
                     continue
                 labelnames = tuple(family.get("labelnames", ()))
+                metric: Metric
                 if kind == Histogram.kind:
-                    bounds = None
+                    bounds: Optional[Tuple[float, ...]] = None
                     for candidate in [family.get("value")] + list(
                             family.get("labels", {}).values()):
                         if isinstance(candidate, dict) and \
@@ -423,12 +432,12 @@ class MetricsRegistry:
         return self
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, dict]:
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """A JSON-serializable dict of every family's current state."""
         return {name: self._metrics[name].snapshot()
                 for name in sorted(self._metrics)}
 
-    def write_json(self, path) -> None:
+    def write_json(self, path: Any) -> None:
         with open(path, "w") as fh:
             json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
             fh.write("\n")

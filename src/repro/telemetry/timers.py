@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Optional
+from typing import Iterator, Optional
 
-from .registry import Histogram, MetricsRegistry
+from .registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
 from .trace import EventTrace
 
 PHASE_METRIC = "phase_duration_seconds"
@@ -29,7 +29,7 @@ class PhaseTiming:
 
     __slots__ = ("phase", "started", "elapsed")
 
-    def __init__(self, phase: str, started: float):
+    def __init__(self, phase: str, started: float) -> None:
         self.phase = phase
         self.started = started
         self.elapsed: Optional[float] = None
@@ -42,13 +42,14 @@ def phase_histogram(registry: MetricsRegistry) -> Histogram:
     """The labeled histogram family all phase timers feed."""
     return registry.histogram(
         PHASE_METRIC, "wall-clock duration of named phases",
-        labelnames=("phase",))
+        labelnames=("phase",), buckets=DEFAULT_BUCKETS)
 
 
 @contextmanager
 def phase_timer(phase: str, registry: Optional[MetricsRegistry] = None,
                 trace: Optional[EventTrace] = None,
-                sim_time: Optional[float] = None):
+                sim_time: Optional[float] = None
+                ) -> Iterator[PhaseTiming]:
     """Time a block as ``with phase_timer("allocate") as timing: ...``.
 
     ``registry`` defaults to the process-wide one; pass ``trace`` (and

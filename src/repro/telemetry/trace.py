@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict, Iterator, List
+from typing import Any, Dict, Iterator, List
 
 #: Hard cap on retained events unless a capacity is chosen explicitly;
 #: protects multi-minute packet-level runs from unbounded growth.
@@ -31,15 +31,16 @@ class TraceEvent:
     __slots__ = ("kind", "sim_time", "wall_time", "fields")
 
     def __init__(self, kind: str, sim_time: float, wall_time: float,
-                 fields: Dict):
+                 fields: Dict[str, Any]) -> None:
         self.kind = kind
         self.sim_time = sim_time
         self.wall_time = wall_time
         self.fields = fields
 
-    def to_dict(self) -> Dict:
-        record = {"kind": self.kind, "sim_time": self.sim_time,
-                  "wall_time": self.wall_time}
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"kind": self.kind,
+                                  "sim_time": self.sim_time,
+                                  "wall_time": self.wall_time}
         record.update(self.fields)
         return record
 
@@ -52,7 +53,7 @@ class EventTrace:
     """Append-only event log with a shared context and JSONL export."""
 
     def __init__(self, enabled: bool = False,
-                 capacity: int = DEFAULT_CAPACITY):
+                 capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError("trace capacity must be >= 1")
         self.enabled = enabled
@@ -60,7 +61,7 @@ class EventTrace:
         self.events: List[TraceEvent] = []
         self.dropped = 0
         #: Fields merged into every event (e.g. which system/run emits).
-        self.context: Dict = {}
+        self.context: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def enable(self) -> "EventTrace":
@@ -70,7 +71,7 @@ class EventTrace:
     def disable(self) -> None:
         self.enabled = False
 
-    def set_context(self, **fields) -> None:
+    def set_context(self, **fields: Any) -> None:
         """Merge ``fields`` into every subsequently emitted event."""
         self.context.update(fields)
 
@@ -82,7 +83,7 @@ class EventTrace:
             self.context.pop(name, None)
 
     # ------------------------------------------------------------------
-    def emit(self, kind: str, sim_time: float, **fields) -> None:
+    def emit(self, kind: str, sim_time: float, **fields: Any) -> None:
         """Record one event.  No-op (one attribute test) when disabled."""
         if not self.enabled:
             return
@@ -131,7 +132,7 @@ class EventTrace:
                                   default=_jsonable) + "\n"
                        for e in self.events)
 
-    def write_jsonl(self, path) -> int:
+    def write_jsonl(self, path: Any) -> int:
         """Write every event as one JSON object per line; returns the
         number of events written."""
         with open(path, "w") as fh:
@@ -139,7 +140,7 @@ class EventTrace:
         return len(self.events)
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     """Fallback serializer: tuples of node names, sets, objects with a
     ``name`` — degrade to something greppable rather than raising."""
     if isinstance(value, (set, frozenset)):

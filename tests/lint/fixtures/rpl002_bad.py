@@ -1,0 +1,23 @@
+"""Wall-clock reads in simulation/experiment logic."""
+import time
+from datetime import date, datetime
+
+
+def stamp_run():
+    return time.time()  # EXPECT: RPL002
+
+
+def profile_block():
+    return time.perf_counter()  # EXPECT: RPL002
+
+
+def monotonic_budget():
+    return time.monotonic()  # EXPECT: RPL002
+
+
+def label_now():
+    return datetime.now()  # EXPECT: RPL002
+
+
+def label_date():
+    return date.today()  # EXPECT: RPL002

@@ -1,0 +1,33 @@
+"""Direct Topology/Link state writes outside the sanctioned APIs."""
+
+
+def throttle(link):
+    link.capacity_bps = 1e9  # EXPECT: RPL003
+
+
+def degrade(link, factor):
+    link.capacity_bps /= factor  # EXPECT: RPL003
+
+
+def cut(link):
+    link.up = False  # EXPECT: RPL003
+
+
+def cut_pair(link_a, link_b):
+    link_a.up, link_b.up = False, False  # EXPECT: RPL003, RPL003
+
+
+def splice(topo, key, link):
+    topo.links[key] = link  # EXPECT: RPL003
+
+
+def drop(topo, key):
+    del topo.links[key]  # EXPECT: RPL003
+
+
+def merge(topo, extra):
+    topo.nodes.update(extra)  # EXPECT: RPL003
+
+
+def bump(topo):
+    topo.version += 1  # EXPECT: RPL003

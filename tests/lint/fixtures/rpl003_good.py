@@ -1,0 +1,26 @@
+"""All mutations flow through the sanctioned Topology/Link APIs."""
+
+
+def throttle(topo, key, new_bps):
+    topo.set_capacity(key, new_bps)
+
+
+def cut(link):
+    link.set_down()
+
+
+def restore(link):
+    link.set_up()
+
+
+def splice(topo, a, b, capacity_bps, delay_s):
+    topo.add_duplex_link(a, b, capacity_bps, delay_s)
+
+
+def drop(topo, a, b):
+    topo.remove_link(a, b)
+
+
+def headroom(topo, key):
+    # Reads are fine; only writes bypass the version counter.
+    return topo.links[key].capacity_bps

@@ -1,0 +1,24 @@
+"""Telemetry registrations that break MetricsRegistry.merge()."""
+from repro.telemetry import metrics
+
+REG = metrics()
+
+
+def dynamic_name(name):
+    return REG.counter(name, "computed name")  # EXPECT: RPL004
+
+
+def wrong_suffix():
+    return REG.counter("tasks_failed", "missing _total suffix")  # EXPECT: RPL004
+
+
+def no_buckets():
+    return REG.histogram("op_latency_seconds", "no explicit bounds")  # EXPECT: RPL004
+
+
+def dynamic_name_and_no_buckets(make_name):
+    return REG.histogram(make_name(), "two violations at once")  # EXPECT: RPL004, RPL004
+
+
+def computed_labels(names):
+    return REG.gauge("queue_depth", "depth", labelnames=names)  # EXPECT: RPL004

@@ -1,0 +1,26 @@
+"""Statically mergeable telemetry registrations."""
+from repro.telemetry import DEFAULT_BUCKETS, metrics
+
+REG = metrics()
+
+RETRY_METRIC = "sweep_retries_total"
+
+
+def literal_counter():
+    return REG.counter("tasks_done_total", "completed tasks")
+
+
+def module_constant_name():
+    # A same-file module-level string constant is as statically known
+    # as an inline literal (timers.py names PHASE_METRIC this way).
+    return REG.counter(RETRY_METRIC, "tasks retried")
+
+
+def explicit_buckets():
+    return REG.histogram("op_latency_seconds", "operation latency",
+                         buckets=DEFAULT_BUCKETS)
+
+
+def literal_labels():
+    return REG.gauge("queue_depth", "depth by stage",
+                     labelnames=("stage",))

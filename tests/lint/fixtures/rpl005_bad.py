@@ -1,0 +1,11 @@
+"""Asserts vanish under ``python -O``; raise real exceptions."""
+
+
+def place(best_path):
+    assert best_path is not None  # EXPECT: RPL005
+    return best_path
+
+
+def check_window(window):
+    assert window, "empty window"  # EXPECT: RPL005
+    return len(window)

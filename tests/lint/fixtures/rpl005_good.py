@@ -1,0 +1,13 @@
+"""Real exceptions that survive ``python -O``."""
+
+
+def place(best_path):
+    if best_path is None:
+        raise RuntimeError("no candidate path survived filtering")
+    return best_path
+
+
+def check_window(window):
+    if not window:
+        raise ValueError("empty window")
+    return len(window)

@@ -1,0 +1,27 @@
+"""Hash-randomized iteration order materializing into results."""
+
+
+def emit_series(sources, windows):
+    for src in set(sources) | set(windows):  # EXPECT: RPL006
+        yield src
+
+
+def keys_loop(table):
+    for key in table.keys():  # EXPECT: RPL006
+        yield key
+
+
+def materialize(names):
+    return list({n.strip() for n in names})  # EXPECT: RPL006
+
+
+def label(parts):
+    return ",".join(set(parts))  # EXPECT: RPL006
+
+
+def indexed(items):
+    return enumerate(set(items))  # EXPECT: RPL006
+
+
+def fanout(targets):
+    return {t: [] for t in {"a", "b"} | targets}  # EXPECT: RPL006

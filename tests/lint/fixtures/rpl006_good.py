@@ -1,0 +1,31 @@
+"""Sorted iteration or order-insensitive consumers."""
+
+
+def emit_series(sources, windows):
+    for src in sorted(set(sources) | set(windows)):
+        yield src
+
+
+def keys_loop(table):
+    for key in sorted(table.keys()):
+        yield key
+
+
+def materialize(names):
+    return sorted({n.strip() for n in names})
+
+
+def total(flows):
+    return sum(f.rate for f in flows)
+
+
+def count_unique(names):
+    return len({n.strip() for n in names})
+
+
+def widest(links):
+    return max(set(links))
+
+
+def any_down(status):
+    return any(flag for flag in set(status))

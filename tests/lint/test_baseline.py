@@ -1,0 +1,73 @@
+"""Baseline mechanics: grandfather known findings, fail on new ones."""
+
+import json
+
+import pytest
+
+from repro.lint import (lint_source, load_baseline, split_by_baseline,
+                        write_baseline)
+
+DIRTY = "import random\na = random.random()\n"
+
+
+def _findings(source, path="pkg/mod.py"):
+    return lint_source(source, display_path=path).findings
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, _findings(DIRTY))
+    baseline = load_baseline(path)
+    assert set(baseline) == {"RPL001:pkg/mod.py:2"}
+    # The file itself is sorted, versioned JSON.
+    raw = json.loads(path.read_text())
+    assert raw["version"] == 1
+    assert list(raw["findings"]) == sorted(raw["findings"])
+
+
+def test_grandfathered_findings_are_hidden(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, _findings(DIRTY))
+    new, grandfathered, stale = split_by_baseline(
+        _findings(DIRTY), load_baseline(path))
+    assert new == []
+    assert len(grandfathered) == 1
+    assert stale == []
+
+
+def test_new_finding_still_fails(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, _findings(DIRTY))
+    grown = DIRTY + "b = random.random()\n"
+    new, grandfathered, stale = split_by_baseline(
+        _findings(grown), load_baseline(path))
+    assert [(f.rule, f.line) for f in new] == [("RPL001", 3)]
+    assert [(f.rule, f.line) for f in grandfathered] == [("RPL001", 2)]
+    assert stale == []
+
+
+def test_fixed_findings_become_stale_keys(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, _findings(DIRTY))
+    new, grandfathered, stale = split_by_baseline(
+        _findings("a = 1\n"), load_baseline(path))
+    assert new == []
+    assert grandfathered == []
+    assert stale == ["RPL001:pkg/mod.py:2"]
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("[]\n")
+    with pytest.raises(ValueError):
+        load_baseline(path)
+    path.write_text("{not json")
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_committed_repo_baseline_is_empty():
+    from pathlib import Path
+    repo = Path(__file__).resolve().parents[2]
+    baseline = load_baseline(repo / "reprolint_baseline.json")
+    assert baseline == {}

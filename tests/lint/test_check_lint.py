@@ -1,0 +1,63 @@
+"""The CI gate script: scripts/check_lint.py."""
+
+from pathlib import Path
+import subprocess
+import sys
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "check_lint.py"
+
+
+def run_gate(*argv):
+    return subprocess.run([sys.executable, str(SCRIPT), *argv],
+                          capture_output=True, text=True)
+
+
+def test_gate_passes_on_this_repo():
+    proc = run_gate()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_gate_fails_naming_rule_and_file(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text("import random\na = random.random()\n")
+    proc = run_gate("--root", str(tmp_path))
+    assert proc.returncode == 1
+    assert "RPL001" in proc.stderr
+    assert "mod.py" in proc.stderr
+    assert ":2:" in proc.stderr
+
+
+def test_gate_respects_baseline(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text("import random\na = random.random()\n")
+    baseline = tmp_path / "reprolint_baseline.json"
+    baseline.write_text(
+        '{"version": 1, "findings": '
+        '{"RPL001:src/mod.py:2": "grandfathered"}}\n')
+    proc = run_gate("--root", str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "grandfathered" in proc.stdout
+
+    # A second, non-baselined violation still fails.
+    (src / "mod.py").write_text(
+        "import random\na = random.random()\nb = random.random()\n")
+    proc = run_gate("--root", str(tmp_path))
+    assert proc.returncode == 1
+    assert ":3:" in proc.stderr
+
+
+def test_gate_reports_stale_baseline_entries(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text("a = 1\n")
+    baseline = tmp_path / "reprolint_baseline.json"
+    baseline.write_text(
+        '{"version": 1, "findings": '
+        '{"RPL001:src/mod.py:2": "long since fixed"}}\n')
+    proc = run_gate("--root", str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "stale" in proc.stdout

@@ -1,0 +1,68 @@
+"""Suppression directive mechanics: the sanctioned escape hatch."""
+
+from repro.lint import lint_source
+
+
+def test_line_suppression_silences_exactly_that_rule():
+    src = ("import random\n"
+           "x = random.random()  # reprolint: disable=RPL001\n")
+    result = lint_source(src)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_wrong_code_does_not_suppress():
+    src = ("import random\n"
+           "x = random.random()  # reprolint: disable=RPL002\n")
+    result = lint_source(src)
+    assert [f.rule for f in result.findings] == ["RPL001"]
+    assert result.suppressed == 0
+
+
+def test_suppression_is_line_scoped():
+    src = ("import random\n"
+           "a = random.random()  # reprolint: disable=RPL001\n"
+           "b = random.random()\n")
+    result = lint_source(src)
+    assert [(f.rule, f.line) for f in result.findings] == [("RPL001", 3)]
+    assert result.suppressed == 1
+
+
+def test_suppression_silences_only_one_rule_on_a_shared_line():
+    # One line violating two rules; suppressing one leaves the other.
+    src = ("import random\n"
+           "import time\n"
+           "x = [random.random(), time.time()]"
+           "  # reprolint: disable=RPL002\n")
+    result = lint_source(src)
+    assert [f.rule for f in result.findings] == ["RPL001"]
+    assert result.suppressed == 1
+
+
+def test_comma_separated_codes_suppress_both():
+    src = ("import random\n"
+           "import time\n"
+           "x = [random.random(), time.time()]"
+           "  # reprolint: disable=RPL001, RPL002\n")
+    result = lint_source(src)
+    assert result.findings == []
+    assert result.suppressed == 2
+
+
+def test_file_suppression_covers_every_line():
+    src = ("# reprolint: disable-file=RPL001\n"
+           "import random\n"
+           "a = random.random()\n"
+           "b = random.random()\n")
+    result = lint_source(src)
+    assert result.findings == []
+    assert result.suppressed == 2
+
+
+def test_directive_inside_string_literal_is_inert():
+    src = ('DOC = "# reprolint: disable-file=RPL001"\n'
+           "import random\n"
+           "a = random.random()\n")
+    result = lint_source(src)
+    assert [f.rule for f in result.findings] == ["RPL001"]
+    assert result.suppressed == 0
