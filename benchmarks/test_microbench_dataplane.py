@@ -4,16 +4,35 @@ Sanity checks that the structures behind the boosters are cheap enough
 for the simulator to sustain the experiment workloads, and a place to
 catch accidental algorithmic regressions (these run with real
 pytest-benchmark statistics, unlike the single-shot scenario benches).
+
+``test_dataplane_batch_speedup`` is the PR-trajectory scenario bench for
+the vectorized batch data plane: it times the batch kernels against the
+retained ``*_reference`` sequential paths on a 10^5-packet mixed
+workload (structure level) and a coalesced-window switch pipeline
+against per-packet ``receive`` (engine level), asserts byte-identical
+end state for both, and writes ``BENCH_dataplane.json`` at the repo
+root so the numbers are comparable across PRs.
 """
 
+import json
 import random
+import statistics
+import time
+from pathlib import Path as FsPath
 
-
+from repro import telemetry
+from repro.boosters.heavy_hitter import (HeavyHitterFilterProgram,
+                                         HeavyHitterProgram)
+from repro.boosters.hop_count import (HopCountFilterBooster,
+                                      HopCountFilterProgram)
+from repro.boosters.lfa_detector import LfaDetectorProgram
+from repro.boosters.packet_dropper import PacketDropperProgram
 from repro.core import ModeRegistry, ModeSpec, ModeTable
 from repro.dataplane import (BloomFilter, CountMinSketch, FecDecoder,
                              FecEncoder, FlowTable, HashPipe)
-from repro.netsim import (Path, Simulator, Topology, make_flow,
-                          max_min_allocate)
+from repro.netsim import (Packet, Path, Protocol, Simulator, Topology,
+                          make_flow, max_min_allocate)
+from repro.netsim.packet import FlowKey
 
 KEYS = [f"10.0.{i % 256}.{i // 256}" for i in range(10_000)]
 
@@ -102,3 +121,279 @@ def test_max_min_allocation_medium(benchmark):
 
     result = benchmark(lambda: max_min_allocate(topo, flows))
     assert all(rate >= 0 for rate in result.rates.values())
+
+
+# ----------------------------------------------------------------------
+# Scenario bench: the vectorized batch data plane (PR trajectory).
+# ----------------------------------------------------------------------
+
+N_PACKETS = 100_000
+WINDOW = 8192          # packets per coalesced link window
+WINDOW_S = 0.001       # window cadence (fixed-time injection, see below)
+REPEATS = 3
+SEED = 42
+WORKLOAD_SEED = 43
+#: Rare sources/flows primed into the pre-filter stages: drops must stay
+#: rare (~0.3%) so the bench measures full-pipeline traversal, not
+#: early-exit economics.
+FLAGGED_SOURCE_IDS = (37, 53, 61)
+BLOCKED_FLOW_IDS = range(70, 90)
+STRUCTURE_FLOOR = 10.0  # composite structures speedup gate (ISSUE 6)
+PIPELINE_FLOOR = 4.0    # end-to-end engine floor (CI; target 10x)
+BENCH_PATH = FsPath(__file__).resolve().parent.parent / "BENCH_dataplane.json"
+
+TELEMETRY_COUNTERS = (
+    "dataplane_batch_events_total",
+    "dataplane_batch_packets_total",
+    "dataplane_batch_fallback_packets_total",
+    "booster_packets_dropped_total",
+)
+
+
+def _mixed_workload():
+    """Pareto-skewed source/size columns: a few heavy hitters, a long
+    tail of mice — the mix every sketching structure is built for."""
+    rng = random.Random(WORKLOAD_SEED)
+    keys, sizes = [], []
+    for _ in range(N_PACKETS):
+        j = int(rng.paretovariate(1.1)) % 1500
+        keys.append(f"10.{j % 256}.{j // 256}.{j % 40}")
+        sizes.append(rng.choice([64, 512, 1500]))
+    return keys, sizes
+
+
+def _structure_cases(keys, sizes):
+    flow_keys = [FlowKey(k, "h_dst", Protocol.UDP, 1000, 80) for k in keys]
+    # Share one FlowKey object per unique flow, as the batch flow-key
+    # column does (the contract the id-token kernels exploit).
+    interned = {}
+    flow_keys = [interned.setdefault(k, k) for k in flow_keys]
+    return [
+        ("cms_update",
+         lambda: CountMinSketch("bench.cms", width=2048, depth=4),
+         lambda s: s.update_batch(keys, sizes),
+         lambda s: s.update_batch_reference(keys, sizes)),
+        ("bloom_add",
+         lambda: BloomFilter("bench.bloom", size_bits=8192, n_hashes=4),
+         lambda s: s.add_batch(keys),
+         lambda s: s.add_batch_reference(keys)),
+        ("hashpipe_update",
+         lambda: HashPipe("bench.pipe", stages=4, slots_per_stage=64),
+         lambda s: s.update_batch(keys, sizes),
+         lambda s: s.update_batch_reference(keys, sizes)),
+        ("flowtable_observe",
+         lambda: FlowTable("bench.flows", capacity=4096),
+         lambda s: s.observe_batch(flow_keys, 1.0, sizes),
+         lambda s: s.observe_batch_reference(flow_keys, 1.0, sizes)),
+    ]
+
+
+def _run_structures():
+    """Batch vs sequential-reference timings per structure; asserts
+    byte-identical end state for each pair."""
+    keys, sizes = _mixed_workload()
+    per_structure = {}
+    batch_total = 0.0
+    reference_total = 0.0
+    for name, make, batch_fn, reference_fn in _structure_cases(keys, sizes):
+        batched = make()
+        start = time.perf_counter()
+        batch_fn(batched)
+        batch_s = time.perf_counter() - start
+        sequential = make()
+        start = time.perf_counter()
+        reference_fn(sequential)
+        reference_s = time.perf_counter() - start
+        assert batched.export_state() == sequential.export_state(), (
+            f"{name}: batch kernel diverged from sequential reference")
+        per_structure[name] = {
+            "batch_ms": round(batch_s * 1e3, 3),
+            "reference_ms": round(reference_s * 1e3, 3),
+            "speedup": round(reference_s / batch_s, 2),
+        }
+        batch_total += batch_s
+        reference_total += reference_s
+    return per_structure, batch_total, reference_total
+
+
+def _build_pipeline():
+    """One edge switch running the five batch-capable defense programs,
+    draining into a sink host over a fat link (the pre-filter pipeline
+    of DESIGN.md "Batch data plane")."""
+    sim = Simulator(seed=SEED)
+    topo = Topology(sim)
+    topo.add_switch("s1")
+    topo.add_host("h_dst", gateway="s1")
+    topo.add_duplex_link("s1", "h_dst", 100e9, 1e-4, queue_bytes=10**9)
+    switch = topo.switch("s1")
+    switch.set_route("h_dst", ["h_dst"])
+    programs = (
+        HeavyHitterProgram("hh", "hh.counter", stages=4,
+                           slots_per_stage=64),
+        HeavyHitterFilterProgram("hh.filter", "hh.filter"),
+        LfaDetectorProgram("lfa_detector", "lfa_detector.flow_state",
+                           capacity=4096),
+        PacketDropperProgram("dropper", "dropper.blocklist",
+                             size_bits=8192),
+        HopCountFilterProgram(HopCountFilterBooster(),
+                              "hop_count.hc_table"),
+    )
+    for program in programs:
+        switch.install_program(program)
+    hh_filter = programs[1]
+    for j in FLAGGED_SOURCE_IDS:
+        hh_filter.flag(f"10.{j % 256}.{j // 256}.{j % 40}")
+    dropper = programs[3]
+    for j in BLOCKED_FLOW_IDS:
+        template = Packet(src=f"10.{j % 256}.{j // 256}.{j % 40}",
+                          dst="h_dst", proto=Protocol.UDP,
+                          sport=1000 + j % 16, dport=80)
+        dropper.block(template.flow_key)
+    return sim, switch, programs, topo.host("h_dst")
+
+
+def _make_packets():
+    rng = random.Random(WORKLOAD_SEED)
+    packets = []
+    for _ in range(N_PACKETS):
+        j = int(rng.paretovariate(1.1)) % 1500
+        packets.append(Packet(
+            src=f"10.{j % 256}.{j // 256}.{j % 40}", dst="h_dst",
+            size_bytes=rng.choice([64, 512, 1500]),
+            proto=Protocol.UDP, sport=1000 + j % 16, dport=80,
+            ttl=64 - (j % 9)))
+    return packets
+
+
+def _inject_scalar(switch, window):
+    for packet in window:
+        switch.receive(packet)
+
+
+def _pipeline_snapshot(switch, programs, host, packets):
+    hh, hh_filter, lfa, dropper, hop = programs
+    return {
+        "hh": hh.pipe.export_state(),
+        "hh_filter": (hh_filter.export_state(),
+                      hh_filter.packets_dropped),
+        "lfa": lfa.table.export_state(),
+        "dropper": (dropper.export_state(), dropper.packets_dropped),
+        "hop": (dict(hop.learned), hop.mismatches, hop.packets_dropped),
+        "switch_stats": vars(switch.stats).copy(),
+        "drop_reasons": [p.dropped for p in packets],
+        "host_received": dict(host.received_by_kind),
+    }
+
+
+def _run_pipeline(mode):
+    """One full engine run; windows are scheduled at *fixed absolute
+    times* (k * WINDOW_S) with a single ``sim.run()`` so both modes
+    observe identical clocks at injection — interleaved run() calls let
+    float event-time accumulation drift between the per-packet and the
+    coalesced schedules, which breaks FlowTable timestamp identity."""
+    sim, switch, programs, host = _build_pipeline()
+    packets = _make_packets()
+    for k in range(0, N_PACKETS, WINDOW):
+        window = packets[k:k + WINDOW]
+        when = (k // WINDOW) * WINDOW_S
+        if mode == "batch":
+            sim.schedule_at(when, switch.receive_batch, window)
+        else:
+            sim.schedule_at(when, _inject_scalar, switch, window)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, _pipeline_snapshot(switch, programs, host, packets)
+
+
+def _telemetry_counters():
+    registry = telemetry.metrics()
+    out = {}
+    for name in TELEMETRY_COUNTERS:
+        if name not in registry:
+            out[name] = 0.0
+            continue
+        snap = registry.get(name).snapshot()
+        labels = snap.get("labels")
+        if labels:
+            for label, value in labels.items():
+                out[f"{name}:{label}"] = value
+        else:
+            out[name] = snap["value"]
+    return out
+
+
+def test_dataplane_batch_speedup():
+    # -- structure level: batch kernels vs *_reference twins ------------
+    structure_runs = []
+    for _ in range(REPEATS):
+        structure_runs.append(_run_structures())
+    per_structure = structure_runs[0][0]
+    structure_speedups = [ref / batch
+                          for _, batch, ref in structure_runs]
+    structure_speedup = statistics.median(structure_speedups)
+
+    # -- engine level: coalesced windows vs per-packet receive ----------
+    scalar_times, batch_times = [], []
+    batch_snapshot = scalar_snapshot = None
+    counters_before = _telemetry_counters()
+    for _ in range(REPEATS):
+        elapsed, scalar_snapshot = _run_pipeline("scalar")
+        scalar_times.append(elapsed)
+        elapsed, batch_snapshot = _run_pipeline("batch")
+        batch_times.append(elapsed)
+        assert scalar_snapshot == batch_snapshot, (
+            "batch pipeline end state diverged from per-packet replay")
+    counters_after = _telemetry_counters()
+
+    scalar_s = statistics.median(scalar_times)
+    batch_s = statistics.median(batch_times)
+    pipeline_speedup = scalar_s / batch_s
+    dropped = sum(1 for reason in batch_snapshot["drop_reasons"] if reason)
+    deltas = {name: counters_after.get(name, 0.0)
+              - counters_before.get(name, 0.0)
+              for name in counters_after}
+
+    record = {
+        "scenario": {
+            "packets": N_PACKETS, "window": WINDOW,
+            "window_s": WINDOW_S, "repeats": REPEATS,
+            "programs": ["heavy_hitter", "heavy_hitter_filter",
+                         "lfa_detector", "packet_dropper",
+                         "hop_count_filter"],
+            "flagged_sources": len(FLAGGED_SOURCE_IDS),
+            "blocked_flows": len(BLOCKED_FLOW_IDS),
+            "program_drops": dropped,
+        },
+        "structures": {
+            "per_structure": per_structure,
+            "composite_speedup": round(structure_speedup, 2),
+            "floor": STRUCTURE_FLOOR,
+        },
+        "pipeline": {
+            "scalar_s": round(scalar_s, 3),
+            "batch_s": round(batch_s, 3),
+            "scalar_pps": round(N_PACKETS / scalar_s),
+            "batch_pps": round(N_PACKETS / batch_s),
+            "speedup": round(pipeline_speedup, 2),
+            "floor": PIPELINE_FLOOR,
+            "target": 10.0,
+        },
+        "telemetry": deltas,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nBENCH_dataplane: structures {structure_speedup:.1f}x "
+          f"(floor {STRUCTURE_FLOOR}x), pipeline {pipeline_speedup:.1f}x "
+          f"({N_PACKETS / batch_s:,.0f} pps batch vs "
+          f"{N_PACKETS / scalar_s:,.0f} pps scalar, floor "
+          f"{PIPELINE_FLOOR}x) -> {BENCH_PATH.name}")
+
+    # The batch engine must actually be coalescing, not falling back.
+    assert deltas.get("dataplane_batch_packets_total", 0) > 0
+    assert structure_speedup >= STRUCTURE_FLOOR, (
+        f"batch structure kernels regressed: {structure_speedup:.2f}x "
+        f"composite over the sequential references (floor "
+        f"{STRUCTURE_FLOOR}x)")
+    assert pipeline_speedup >= PIPELINE_FLOOR, (
+        f"batch pipeline regressed: {pipeline_speedup:.2f}x over "
+        f"per-packet receive (floor {PIPELINE_FLOOR}x, target 10x)")

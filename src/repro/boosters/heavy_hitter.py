@@ -10,6 +10,7 @@ hitters).
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import Dict, Hashable, List, Optional
 
 from ..core.booster import Booster, GatedProgram
@@ -29,12 +30,20 @@ FILTER_MODE = "ddos_filter"
 class HeavyHitterProgram(GatedProgram):
     """Per-switch HashPipe counting bytes per source."""
 
+    supports_batch = True
+
     def __init__(self, booster_name: str, name: str, stages: int = 4,
                  slots_per_stage: int = 64):
         pipe = HashPipe(f"{name}.pipe", stages=stages,
                         slots_per_stage=slots_per_stage)
         super().__init__(booster_name, name, pipe.resource_requirement())
         self.pipe = pipe
+        #: Snapshot of the last *completed* tumbling window, captured by
+        #: :meth:`roll_window` just before the counters reset.  Without
+        #: it, a sync agent polling between the reset and the next
+        #: window's traffic reads an empty pipe and briefly erases the
+        #: heavy hitters from the network-wide view.
+        self._last_window: Optional[Dict[Hashable, int]] = None
 
     def process_enabled(self, switch: ProgrammableSwitch,
                         packet: Packet) -> ProgramResult:
@@ -43,10 +52,36 @@ class HeavyHitterProgram(GatedProgram):
         self.pipe.update(packet.src, packet.size_bytes)
         return None
 
+    def process_batch_enabled(self, switch: ProgrammableSwitch,
+                              batch) -> None:
+        mask = batch.data_mask()
+        if batch.all_data:
+            # Whole-column fast path: no gather copy needed.
+            self.pipe.update_batch(batch.src, batch.size_bytes)
+            return
+        selected = list(compress(zip(batch.src, batch.size_bytes), mask))
+        if selected:
+            self.pipe.update_batch([pair[0] for pair in selected],
+                                   [pair[1] for pair in selected])
+
+    def roll_window(self) -> Dict[Hashable, int]:
+        """Close the current tumbling window: snapshot its counters,
+        clear the pipe, and return the snapshot."""
+        window = dict(self.pipe.heavy_hitters(1))
+        self._last_window = window
+        self.pipe.clear()
+        return window
+
     def local_counts(self) -> Dict[Hashable, float]:
-        """Counter source for a DetectorSyncAgent."""
-        return {key: float(count)
-                for key, count in self.pipe.heavy_hitters(1).items()}
+        """Counter source for a DetectorSyncAgent.
+
+        Serves the last completed window when tumbling windows are in
+        use (:meth:`roll_window` has run), so polling is race-free
+        against the reset; falls back to the live counters otherwise.
+        """
+        source = (self._last_window if self._last_window is not None
+                  else self.pipe.heavy_hitters(1))
+        return {key: float(count) for key, count in source.items()}
 
     def export_state(self) -> Dict:
         return self.pipe.export_state()
@@ -57,6 +92,8 @@ class HeavyHitterProgram(GatedProgram):
 
 class HeavyHitterFilterProgram(GatedProgram):
     """Mitigation-mode filter: drops packets from flagged sources."""
+
+    supports_batch = True
 
     def __init__(self, booster_name: str, name: str):
         super().__init__(booster_name, name,
@@ -78,6 +115,29 @@ class HeavyHitterFilterProgram(GatedProgram):
             self.packets_dropped += 1
             return Drop("heavy_hitter")
         return None
+
+    def process_batch_enabled(self, switch: ProgrammableSwitch,
+                              batch) -> None:
+        """Pre-filter stage: flagged-source membership mask over the
+        whole src column; survivors pass through untouched."""
+        flagged = self.flagged
+        if not flagged:
+            return
+        mask = batch.data_mask()
+        src = batch.src
+        # isdisjoint scans the column at C speed (short-circuiting on the
+        # first hit); only windows that actually contain flagged sources
+        # pay for the per-index scan.
+        if flagged.isdisjoint(src):
+            return
+        if batch.all_data:
+            hits = [i for i, s in enumerate(src) if s in flagged]
+        else:
+            hits = [i for i, s in enumerate(src)
+                    if mask[i] and s in flagged]
+        self.packets_dropped += len(hits)
+        for i in hits:
+            batch.drop(i, "heavy_hitter")
 
     def export_state(self) -> Dict:
         return {"flagged": sorted(self.flagged)}
@@ -181,10 +241,14 @@ class HeavyHitterBooster(Booster):
     def _check(self, deployment, switch_name: str) -> None:
         """One detector's periodic pass over its HashPipe."""
         sim = deployment.topo.sim
-        heavy = self.heavy_sources(switch_name)
-        # Tumbling window: reset the counters every pass so the
-        # threshold always applies to one check period's bytes.
-        self.detectors[switch_name].pipe.clear()
+        # Tumbling window: roll_window snapshots the window's counters
+        # *before* resetting them, so concurrent local_counts() readers
+        # (sync agents) keep seeing the completed window instead of the
+        # momentarily-empty pipe.  The threshold applies to one check
+        # period's bytes.
+        window = self.detectors[switch_name].roll_window()
+        heavy = {key: count for key, count in window.items()
+                 if count >= self.byte_threshold}
         agent = deployment.mode_agents[switch_name]
         if heavy:
             self._last_seen_heavy = sim.now

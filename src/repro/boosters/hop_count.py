@@ -12,6 +12,8 @@ mode turns on enforcement.
 
 from __future__ import annotations
 
+from collections import Counter
+from itertools import compress
 from typing import Dict, List
 
 from ..core.booster import Booster, GatedProgram
@@ -48,6 +50,8 @@ class HopCountFilterProgram(GatedProgram):
     table is warm when filtering engages.
     """
 
+    supports_batch = True
+
     def __init__(self, booster: "HopCountFilterBooster", name: str,
                  tolerance: int = 0):
         super().__init__(f"{booster.name}.filter", name,
@@ -82,6 +86,65 @@ class HopCountFilterProgram(GatedProgram):
             return Drop("hop_count_mismatch")
         # Learning mode tracks mismatches but lets traffic through.
         return None
+
+    def process_batch(self, switch: ProgrammableSwitch, batch) -> None:
+        """Batch twin of :meth:`process` (learning is ungated, so this
+        overrides ``process_batch`` rather than the gated hook).
+
+        The sequential semantics aggregate cleanly because the learned
+        hop count for a source is fixed by its *first* sighting and
+        never updated afterwards: within one window only the first
+        (src, ttl) occurrence of an unknown source can learn, its own
+        pair then trivially matches, and every other pair's verdict is
+        independent of arrival order.  So the kernel folds the window to
+        unique (src, ttl) pairs with C-level dict/Counter machinery and
+        only walks per-packet indices when enforcement actually has
+        mismatches to drop."""
+        mask = batch.data_mask()
+        src = batch.src
+        ttl = batch.column("ttl")
+        if batch.all_data:
+            pairs = list(zip(src, ttl))
+        else:
+            pairs = list(compress(zip(src, ttl), mask))
+        if not pairs:
+            return
+        learned = self.learned
+        tolerance = self.tolerance
+        # dict(pairs) keeps sources in first-occurrence order (insertion
+        # order survives reassignment).  Learning in first-sight order
+        # keeps export_state insertion order byte-identical to the
+        # sequential replay; the first-TTL pass (dict(reversed(pairs)):
+        # last write in reversed iteration is the forward-order first)
+        # only runs when the window actually contains unknown sources.
+        unknown = [source for source in dict(pairs)
+                   if source not in learned]
+        if unknown:
+            first_ttl = dict(reversed(pairs))
+            for source in unknown:
+                learned[source] = infer_hop_count(first_ttl[source])
+        mismatched = set()
+        for pair in dict.fromkeys(pairs):
+            if abs(infer_hop_count(pair[1]) - learned[pair[0]]) > tolerance:
+                mismatched.add(pair)
+        if not mismatched:
+            return
+        mismatch_count = sum(
+            mult for pair, mult in Counter(pairs).items()
+            if pair in mismatched)
+        self.mismatches += mismatch_count
+        if not self.enabled_on(switch):
+            # Learning mode tracks mismatches but lets traffic through.
+            return
+        if batch.all_data:
+            hits = [i for i, pair in enumerate(zip(src, ttl))
+                    if pair in mismatched]
+        else:
+            hits = [i for i, pair in enumerate(zip(src, ttl))
+                    if mask[i] and pair in mismatched]
+        self.packets_dropped += len(hits)
+        for i in hits:
+            batch.drop(i, "hop_count_mismatch")
 
     def export_state(self) -> Dict:
         return {"learned": dict(self.learned)}

@@ -22,6 +22,7 @@ Two faces, one booster:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import compress
 from typing import Dict, List, Optional, Tuple
 
 from ..core.booster import Booster, GatedProgram
@@ -67,6 +68,8 @@ class Detection:
 class LfaDetectorProgram(GatedProgram):
     """Per-switch packet-path detector state (the per-flow TCP table)."""
 
+    supports_batch = True
+
     def __init__(self, booster_name: str, name: str, capacity: int = 4096):
         table = FlowTable(f"{name}.table", capacity=capacity)
         super().__init__(booster_name, name, table.resource_requirement())
@@ -82,6 +85,38 @@ class LfaDetectorProgram(GatedProgram):
             syn=bool(flags & TcpFlags.SYN), ack=bool(flags & TcpFlags.ACK),
             fin=bool(flags & TcpFlags.FIN), rst=bool(flags & TcpFlags.RST))
         return None
+
+    def process_batch_enabled(self, switch: ProgrammableSwitch,
+                              batch) -> None:
+        """Vectorized twin: one :meth:`FlowTable.observe_batch` call per
+        window.  Flag columns are only materialized when the window
+        actually carries TCP flags (all-false flags are a no-op in the
+        TCP state machine, so omitting them is byte-identical and keeps
+        the table's coalesced no-eviction fast path eligible)."""
+        mask = batch.data_mask()
+        now = switch.sim.now
+        if batch.all_data:
+            keys = batch.flow_keys
+            sizes = batch.size_bytes
+            flags = batch.column("tcp_flags")
+        else:
+            selected = list(compress(
+                zip(batch.flow_keys, batch.size_bytes,
+                    batch.column("tcp_flags")), mask))
+            if not selected:
+                return
+            keys = [row[0] for row in selected]
+            sizes = [row[1] for row in selected]
+            flags = [row[2] for row in selected]
+        if not any(flags):
+            self.table.observe_batch(keys, now, sizes)
+            return
+        self.table.observe_batch(
+            keys, now, sizes,
+            syn=[bool(f & TcpFlags.SYN) for f in flags],
+            ack=[bool(f & TcpFlags.ACK) for f in flags],
+            fin=[bool(f & TcpFlags.FIN) for f in flags],
+            rst=[bool(f & TcpFlags.RST) for f in flags])
 
     def export_state(self) -> Dict:
         return self.table.export_state()

@@ -14,6 +14,7 @@ Fluid path: policing the flow's rate to ``keep_fraction`` of its demand.
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import Dict, Optional
 
 from ..core.booster import Booster, GatedProgram
@@ -49,6 +50,16 @@ class PacketDropperProgram(GatedProgram):
                          blocklist.resource_requirement())
         self.blocklist = blocklist
         self.packets_dropped = 0
+        # 5-tuple -> membership verdict, valid for one blocklist
+        # generation (bloom answers only change when its bits do).
+        self._probe_cache: Dict[tuple, bool] = {}
+        self._probe_mutations = -1
+
+    supports_batch = True
+
+    #: The probe memo is cleared past this many entries so an adversarial
+    #: flow stream cannot grow it without bound.
+    _PROBE_CACHE_MAX = 1 << 16
 
     def block(self, flow_key) -> None:
         self.blocklist.add(flow_key)
@@ -62,6 +73,52 @@ class PacketDropperProgram(GatedProgram):
             _C_PACKETS_DROPPED.inc()
             return Drop("suspicious_flow")
         return None
+
+    def process_batch_enabled(self, switch: ProgrammableSwitch,
+                              batch) -> None:
+        """Pre-filter stage: bloom membership is probed once per unique
+        flow (the batch's flow-key column shares one :class:`FlowKey`
+        per unique 5-tuple, so hashes are computed once and cached),
+        and the per-index scan runs only for windows that actually
+        contain blocklisted flows."""
+        mask = batch.data_mask()
+        keys = batch.flow_keys
+        if batch.all_data:
+            uniq = batch.unique_flow_keys()
+        else:
+            uniq = set(compress(keys, mask))
+        if not uniq:
+            return
+        blocklist = self.blocklist
+        cache = self._probe_cache
+        if blocklist.mutations != self._probe_mutations \
+                or len(cache) > self._PROBE_CACHE_MAX:
+            cache.clear()
+            self._probe_mutations = blocklist.mutations
+        cache_get = cache.get
+        blocked = set()
+        for key in uniq:
+            verdict = cache_get(key)
+            if verdict is None:
+                verdict = cache[key] = key in blocklist
+            if verdict:
+                blocked.add(key)
+        if not blocked:
+            return
+        # The flow-key column shares one object per unique flow, so the
+        # per-index scan can match on C-hashable id() tokens instead of
+        # re-invoking FlowKey.__hash__ per packet.
+        blocked_ids = set(map(id, blocked))
+        if batch.all_data:
+            hits = [i for i, t in enumerate(map(id, keys))
+                    if t in blocked_ids]
+        else:
+            hits = [i for i, t in enumerate(map(id, keys))
+                    if mask[i] and t in blocked_ids]
+        self.packets_dropped += len(hits)
+        _C_PACKETS_DROPPED.inc(len(hits))
+        for i in hits:
+            batch.drop(i, "suspicious_flow")
 
     def export_state(self) -> Dict:
         return self.blocklist.export_state()

@@ -83,6 +83,19 @@ class GatedProgram(SwitchProgram):
         """Packet handler invoked only while the booster is active."""
         raise NotImplementedError
 
+    def process_batch(self, switch: ProgrammableSwitch, batch) -> None:
+        """Batch-path gate: one mode-table check per window (mode changes
+        land between windows, never mid-batch), then the vectorized
+        kernel.  Only meaningful on subclasses with ``supports_batch``."""
+        if not self.enabled_on(switch):
+            return
+        self.process_batch_enabled(switch, batch)
+
+    def process_batch_enabled(self, switch: ProgrammableSwitch,
+                              batch) -> None:
+        """Vectorized handler invoked only while the booster is active."""
+        raise NotImplementedError
+
 
 class BoosterRegistry:
     """The set of boosters a deployment runs."""

@@ -7,6 +7,7 @@ parsers, match-action tables with stage layout, and the XOR-parity FEC
 codec used by state transfer.
 """
 
+from .batch import HAVE_NUMPY, PacketBatch
 from .bloom import BloomFilter
 from .fec import (FecDecoder, FecEncoder, FecSymbol,
                   loss_survival_probability)
@@ -15,7 +16,8 @@ from .hashpipe import HashPipe
 from .parser import BASE_FIELDS, ROUTING_PARSER, HeaderParser
 from .pipeline import (MatchActionTable, MatchKind, PipelineLayoutError,
                        StageLayout, TableEntry, layout_tables)
-from .registers import RegisterArray, stable_hash
+from .registers import (RegisterArray, encode_keys, hash_batch, salt_seed,
+                        stable_hash)
 from .resources import (DIMENSIONS, EDGE_SWITCH, TOFINO_LIKE,
                         ResourceExhausted, ResourceLedger, ResourceVector)
 from .sketch import CountMinSketch
@@ -23,9 +25,11 @@ from .sketch import CountMinSketch
 __all__ = [
     "BASE_FIELDS", "BloomFilter", "CountMinSketch", "DIMENSIONS",
     "EDGE_SWITCH", "FecDecoder", "FecEncoder", "FecSymbol", "FlowEntry",
-    "FlowTable", "HashPipe", "HeaderParser", "MatchActionTable",
-    "MatchKind", "PipelineLayoutError", "ROUTING_PARSER", "RegisterArray",
-    "ResourceExhausted", "ResourceLedger", "ResourceVector", "StageLayout",
-    "TOFINO_LIKE", "TableEntry", "TcpState", "layout_tables",
-    "loss_survival_probability", "stable_hash",
+    "FlowTable", "HAVE_NUMPY", "HashPipe", "HeaderParser",
+    "MatchActionTable", "MatchKind", "PacketBatch", "PipelineLayoutError",
+    "ROUTING_PARSER", "RegisterArray", "ResourceExhausted",
+    "ResourceLedger", "ResourceVector", "StageLayout", "TOFINO_LIKE",
+    "TableEntry", "TcpState", "encode_keys", "hash_batch",
+    "layout_tables", "loss_survival_probability", "salt_seed",
+    "stable_hash",
 ]

@@ -8,9 +8,10 @@ negatives, tunable false-positive rate.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+import zlib
+from typing import Any, Dict, List, Sequence
 
-from .registers import RegisterArray, stable_hash
+from .registers import RegisterArray, salt_seed, stable_hash
 from .resources import ResourceVector
 
 
@@ -25,6 +26,10 @@ class BloomFilter:
         self.n_hashes = n_hashes
         self.bits = RegisterArray(f"{name}.bits", size_bits, width_bits=1)
         self.inserted = 0
+        #: Bumped on every write (add/add_batch/clear/import_state) so
+        #: callers can cache membership verdicts between writes: a bloom
+        #: only changes answers when its bits change.
+        self.mutations = 0
 
     @classmethod
     def for_capacity(cls, name: str, capacity: int,
@@ -43,6 +48,7 @@ class BloomFilter:
         for salt in range(self.n_hashes):
             self.bits.write(self._index(key, salt), 1)
         self.inserted += 1
+        self.mutations += 1
 
     def __contains__(self, key: Any) -> bool:
         return all(self.bits.read(self._index(key, salt))
@@ -51,9 +57,50 @@ class BloomFilter:
     def _index(self, key: Any, salt: int) -> int:
         return stable_hash(key, salt) % self.size_bits
 
+    # ------------------------------------------------------------------
+    # Batch kernels (see DESIGN.md "Batch data plane"): bit writes are
+    # idempotent, so each unique key is encoded and hashed exactly once
+    # per salt; end state is byte-identical to the sequential loop.
+    # ------------------------------------------------------------------
+    def add_batch(self, keys: Sequence[Any]) -> None:
+        """Vectorized :meth:`add` over a key column."""
+        unique: Dict[Any, None] = dict.fromkeys(keys)
+        encoded = [repr(key).encode() for key in unique]
+        crc = zlib.crc32
+        size = self.size_bits
+        cells = self.bits._cells
+        for salt in range(self.n_hashes):
+            seed = salt_seed(salt)
+            for kb in encoded:
+                cells[crc(kb, seed) % size] = 1
+        self.inserted += len(keys)
+        self.mutations += 1
+
+    def contains_batch(self, keys: Sequence[Any]) -> List[bool]:
+        """Vectorized membership test; unique keys are hashed once."""
+        crc = zlib.crc32
+        size = self.size_bits
+        cells = self.bits._cells
+        seeds = [salt_seed(salt) for salt in range(self.n_hashes)]
+        cache: Dict[Any, bool] = {}
+        for key in dict.fromkeys(keys):
+            kb = repr(key).encode()
+            cache[key] = all(cells[crc(kb, seed) % size] for seed in seeds)
+        return [cache[key] for key in keys]
+
+    def add_batch_reference(self, keys: Sequence[Any]) -> None:
+        """Sequential twin of :meth:`add_batch` (property-test oracle)."""
+        for key in keys:
+            self.add(key)
+
+    def contains_batch_reference(self, keys: Sequence[Any]) -> List[bool]:
+        """Sequential twin of :meth:`contains_batch`."""
+        return [key in self for key in keys]
+
     def clear(self) -> None:
         self.bits.clear()
         self.inserted = 0
+        self.mutations += 1
 
     def expected_fp_rate(self) -> float:
         """The FP rate implied by the current fill level."""
@@ -70,6 +117,7 @@ class BloomFilter:
     def import_state(self, state: Dict[str, Any]) -> None:
         self.inserted = state["inserted"]
         self.bits.import_state(state["bits"])
+        self.mutations += 1
 
     def resource_requirement(self) -> ResourceVector:
         return ResourceVector(stages=1, sram_mb=self.bits.sram_cost_mb(),

@@ -11,9 +11,9 @@ machine — with LRU eviction to respect SRAM limits.
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from .resources import ResourceVector
 
@@ -102,6 +102,144 @@ class FlowTable:
             entry.tcp_state = TcpState.SYN_SEEN
         elif entry.tcp_state == TcpState.SYN_SEEN and ack:
             entry.tcp_state = TcpState.ESTABLISHED
+        elif entry.tcp_state == TcpState.CLOSED and syn and not ack:
+            # A fresh SYN (no ACK — not a straggler from the old
+            # connection) on a closed flow is a new handshake on a
+            # reused port; without the reopen, the flow would stay
+            # CLOSED forever and evade the LFA persistent-flow query.
+            entry.tcp_state = TcpState.SYN_SEEN
+
+    # ------------------------------------------------------------------
+    # Batch path (see DESIGN.md "Batch data plane").  LRU eviction, the
+    # rate EWMA, and the TCP machine are all order-dependent, so packets
+    # replay in order — the win is one tight loop with hoisted lookups
+    # instead of a Python call stack per packet.
+    # ------------------------------------------------------------------
+    def observe_batch(self, keys: Sequence[Hashable], now: float,
+                      sizes: Sequence[int],
+                      syn: Optional[Sequence[bool]] = None,
+                      ack: Optional[Sequence[bool]] = None,
+                      fin: Optional[Sequence[bool]] = None,
+                      rst: Optional[Sequence[bool]] = None) -> None:
+        """Vectorized :meth:`observe` for one coalesced window.
+
+        All packets share the window timestamp ``now`` (the contract the
+        batch engine provides); flag columns default to all-false.  End
+        state is byte-identical to the equivalent sequential loop.
+        """
+        n = len(keys)
+        if len(sizes) != n:
+            raise ValueError(
+                f"{self.name}: key/size column length mismatch "
+                f"({n} vs {len(sizes)})")
+        entries = self._entries
+        get = entries.get
+        move_to_end = entries.move_to_end
+        popitem = entries.popitem
+        capacity = self.capacity
+        alpha = self.rate_ewma_alpha
+        has_flags = (syn is not None or ack is not None
+                     or fin is not None or rst is not None)
+        advance = self._advance_tcp
+        flags_active = has_flags and (
+            (syn is not None and any(syn)) or (ack is not None and any(ack))
+            or (fin is not None and any(fin))
+            or (rst is not None and any(rst)))
+        if not flags_active:
+            # Coalesced fast path.  Every packet in the window shares
+            # ``now``, so for each key only its *first* occurrence can
+            # move the EWMA (later ones see dt == 0) and the final LRU
+            # position is its *last* occurrence.  When no eviction can
+            # fire, the whole window folds to one pass over unique keys.
+            #
+            # The O(n) passes run over C-hashable id() tokens instead of
+            # the keys themselves: batch callers share one key object
+            # per flow, so hashing the key (a Python-level __hash__)
+            # happens once per *unique* flow only.  With unshared but
+            # equal key objects the grouping merely splits a flow into
+            # several groups — the accumulations below are associative,
+            # only the first processed group sees dt > 0 (the others
+            # find last_seen == now), and the final LRU move of a flow
+            # is still its globally last occurrence, so the end state is
+            # unchanged (just less is deduplicated).
+            ids = list(map(id, keys))
+            id2key = dict(zip(ids, keys))
+            unique = dict.fromkeys(ids)
+            n_new = sum(1 for t in unique if id2key[t] not in entries)
+            if len(entries) + n_new <= capacity:
+                pkt_tot: Dict[int, int] = {}
+                byte_tot: Dict[int, int] = {}
+                pget = pkt_tot.get
+                bget = byte_tot.get
+                for (t, size), mult in Counter(zip(ids, sizes)).items():
+                    pkt_tot[t] = pget(t, 0) + mult
+                    byte_tot[t] = bget(t, 0) + size * mult
+                # dict(zip(reversed, reversed)): last assignment wins, so
+                # each token maps to its first-occurrence size.
+                first_size = dict(zip(reversed(ids), reversed(sizes)))
+                for t in unique:
+                    key = id2key[t]
+                    entry = get(key)
+                    if entry is None:
+                        entry = FlowEntry(key=key, first_seen=now,
+                                          last_seen=now)
+                        entries[key] = entry
+                    else:
+                        dt = now - entry.last_seen
+                        if dt > 0:
+                            instant = first_size[t] * 8 / dt
+                            entry.rate_bps += (instant
+                                               - entry.rate_bps) * alpha
+                        entry.last_seen = now
+                    entry.packets += pkt_tot[t]
+                    entry.bytes += byte_tot[t]
+                # Reorder to the sequential end state: window keys move
+                # to the back in last-occurrence order.
+                for t in reversed(dict.fromkeys(reversed(ids))):
+                    move_to_end(id2key[t])
+                return
+        for i in range(n):
+            key = keys[i]
+            size = sizes[i]
+            entry = get(key)
+            if entry is None:
+                entry = FlowEntry(key=key, first_seen=now, last_seen=now)
+                entries[key] = entry
+                if len(entries) > capacity:
+                    popitem(last=False)
+                    self.evictions += 1
+            else:
+                dt = now - entry.last_seen
+                if dt > 0:
+                    instant = size * 8 / dt
+                    entry.rate_bps += (instant - entry.rate_bps) * alpha
+                entry.last_seen = now
+            move_to_end(key)
+            entry.packets += 1
+            entry.bytes += size
+            if has_flags:
+                s = bool(syn[i]) if syn is not None else False
+                a = bool(ack[i]) if ack is not None else False
+                f = bool(fin[i]) if fin is not None else False
+                r = bool(rst[i]) if rst is not None else False
+                if s or a or f or r:
+                    advance(entry, syn=s, ack=a, fin=f, rst=r)
+
+    def observe_batch_reference(self, keys: Sequence[Hashable], now: float,
+                                sizes: Sequence[int],
+                                syn: Optional[Sequence[bool]] = None,
+                                ack: Optional[Sequence[bool]] = None,
+                                fin: Optional[Sequence[bool]] = None,
+                                rst: Optional[Sequence[bool]] = None) -> None:
+        """Sequential twin of :meth:`observe_batch` (property-test oracle)."""
+        n = len(keys)
+        for i in range(n):
+            self.observe(
+                keys[i], now, size_bytes=sizes[i],
+                syn=bool(syn[i]) if syn is not None else False,
+                ack=bool(ack[i]) if ack is not None else False,
+                fin=bool(fin[i]) if fin is not None else False,
+                rst=bool(rst[i]) if rst is not None else False)
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> Optional[FlowEntry]:
@@ -137,6 +275,7 @@ class FlowTable:
     # ------------------------------------------------------------------
     def export_state(self) -> Dict[str, Any]:
         return {
+            "evictions": self.evictions,
             "entries": [
                 {
                     "key": entry.key,
@@ -146,20 +285,28 @@ class FlowTable:
                     "bytes": entry.bytes,
                     "tcp_state": entry.tcp_state.value,
                     "rate_bps": entry.rate_bps,
+                    # Booster-attached per-flow state (suspicion scores,
+                    # sync digests, ...) must survive Section-3.4 state
+                    # transfer with the rest of the entry.
+                    "extra": dict(entry.extra),
                 }
                 for entry in self._entries.values()
-            ]
+            ],
         }
 
     def import_state(self, state: Dict[str, Any]) -> None:
         self.clear()
+        # Snapshots from before the eviction counter was exported carry
+        # no "evictions" key; treat them as a fresh counter.
+        self.evictions = state.get("evictions", 0)
         for record in state["entries"]:
             entry = FlowEntry(
                 key=record["key"], first_seen=record["first_seen"],
                 last_seen=record["last_seen"], packets=record["packets"],
                 bytes=record["bytes"],
                 tcp_state=TcpState(record["tcp_state"]),
-                rate_bps=record["rate_bps"])
+                rate_bps=record["rate_bps"],
+                extra=dict(record.get("extra", {})))
             self._entries[entry.key] = entry
 
     def resource_requirement(self) -> ResourceVector:

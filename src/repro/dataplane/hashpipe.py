@@ -11,14 +11,16 @@ eviction.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from itertools import repeat
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from .registers import stable_hash
+from .registers import salt_seed, stable_hash
 from .resources import ResourceVector
 
 
-@dataclass
+@dataclass(slots=True)
 class _Slot:
     key: Optional[Hashable] = None
     count: int = 0
@@ -39,6 +41,15 @@ class HashPipe:
         self._stages: List[List[_Slot]] = [
             [_Slot() for _ in range(slots_per_stage)] for _ in range(stages)]
         self.total = 0
+        # key -> its slot object per stage.  Slot positions are fixed for
+        # the table's lifetime (clear()/import_state() mutate slots in
+        # place), so these memos never go stale; they are only bounded.
+        self._slot_caches: List[Dict[Hashable, _Slot]] = [
+            {} for _ in range(stages)]
+
+    #: Per-stage key->slot memos are cleared past this many entries so an
+    #: adversarial key stream cannot grow them without bound.
+    _SLOT_CACHE_MAX = 1 << 16
 
     # ------------------------------------------------------------------
     def _slot(self, stage: int, key: Hashable) -> _Slot:
@@ -75,6 +86,114 @@ class HashPipe:
                 slot.key, carried_key = carried_key, slot.key
                 slot.count, carried_count = carried_count, slot.count
         # The final carried entry falls off the pipe (approximation error).
+
+    # ------------------------------------------------------------------
+    # Batch kernels (see DESIGN.md "Batch data plane").  The eviction
+    # discipline is order-dependent, so the batch path replays packets in
+    # order — the vectorization is in the hashing: each key resolves to
+    # its per-stage slot object once *ever* (persistent memos; slot
+    # positions are fixed for the table's lifetime), so the steady-state
+    # per-packet cost is one dict probe plus one saturating add.
+    # ------------------------------------------------------------------
+    def update_batch(self, keys: Sequence[Hashable],
+                     counts: Optional[Sequence[int]] = None) -> None:
+        """Vectorized :meth:`update`; byte-identical end state."""
+        n = len(keys)
+        if counts is not None:
+            if len(counts) != n:
+                raise ValueError(
+                    f"{self.name}: key/count column length mismatch "
+                    f"({n} vs {len(counts)})")
+            if n and min(counts) < 0:
+                raise ValueError("HashPipe does not support decrements")
+            batch_total = sum(counts)
+            pairs = zip(keys, counts)
+        else:
+            batch_total = n
+            pairs = zip(keys, repeat(1, n))
+        caches = self._slot_caches
+        if len(caches[0]) > self._SLOT_CACHE_MAX:
+            for cache in caches:
+                cache.clear()
+        cache0 = caches[0]
+        cache0_get = cache0.get
+        stages = self._stages
+        stage0 = stages[0]
+        n_stages = self.n_stages
+        slots = self.slots_per_stage
+        crc = zlib.crc32
+        seeds = [salt_seed(stage) for stage in range(n_stages)]
+        seed0 = seeds[0]
+        for key, count in pairs:
+            slot = cache0_get(key)
+            if slot is None:
+                slot = stage0[crc(repr(key).encode(), seed0) % slots]
+                cache0[key] = slot
+            if slot.key == key:
+                slot.count += count
+                continue
+            carried_key, carried_count = slot.key, slot.count
+            slot.key, slot.count = key, count
+            if carried_key is None:
+                continue
+            for stage in range(1, n_stages):
+                cache = caches[stage]
+                slot = cache.get(carried_key)
+                if slot is None:
+                    slot = stages[stage][
+                        crc(repr(carried_key).encode(), seeds[stage])
+                        % slots]
+                    cache[carried_key] = slot
+                if slot.key == carried_key:
+                    slot.count += carried_count
+                    carried_key = None
+                    break
+                if slot.key is None:
+                    slot.key, slot.count = carried_key, carried_count
+                    carried_key = None
+                    break
+                if slot.count < carried_count:
+                    slot.key, carried_key = carried_key, slot.key
+                    slot.count, carried_count = carried_count, slot.count
+            # A still-carried entry falls off the pipe, as in update().
+        self.total += batch_total
+
+    def estimate_batch(self, keys: Sequence[Hashable]) -> List[int]:
+        """Vectorized :meth:`estimate`; unique keys are hashed once."""
+        cache: Dict[Hashable, int] = {}
+        out: List[int] = []
+        stages = self._stages
+        slots = self.slots_per_stage
+        crc = zlib.crc32
+        seeds = [salt_seed(stage) for stage in range(self.n_stages)]
+        for key in keys:
+            value = cache.get(key)
+            if value is None:
+                kb = repr(key).encode()
+                value = 0
+                for seed, stage in zip(seeds, stages):
+                    slot = stage[crc(kb, seed) % slots]
+                    if slot.key == key:
+                        value += slot.count
+                cache[key] = value
+            out.append(value)
+        return out
+
+    def update_batch_reference(self, keys: Sequence[Hashable],
+                               counts: Optional[Sequence[int]] = None
+                               ) -> None:
+        """Sequential twin of :meth:`update_batch` (property-test oracle)."""
+        if counts is None:
+            for key in keys:
+                self.update(key)
+        else:
+            for key, count in zip(keys, counts):
+                self.update(key, count)
+
+    def estimate_batch_reference(self,
+                                 keys: Sequence[Hashable]) -> List[int]:
+        """Sequential twin of :meth:`estimate_batch`."""
+        return [self.estimate(key) for key in keys]
 
     def estimate(self, key: Hashable) -> int:
         """Sum of this key's counters across stages (never over-counts a

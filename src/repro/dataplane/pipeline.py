@@ -36,7 +36,17 @@ class TableEntry:
 
 
 class MatchActionTable:
-    """A P4-style table: keys, entries, and a default action."""
+    """A P4-style table: keys, entries, and a default action.
+
+    Exact tables keep a hash index over their match values, so lookups
+    are O(1) and inserting an already-present match *upserts* the entry
+    in place (hardware exact tables have one slot per key — duplicate
+    entries would make ``lookup`` return the stale first insert while
+    ``delete`` removed both).  Ternary/LPM tables allow overlapping
+    entries by design: ties break on priority (higher wins), then on
+    insertion order (the earlier entry wins), matching hardware
+    first-match-at-highest-priority semantics.
+    """
 
     def __init__(self, name: str, match_kind: MatchKind = MatchKind.EXACT,
                  max_entries: int = 1024, entry_bytes: int = 16,
@@ -49,31 +59,79 @@ class MatchActionTable:
         self.entry_bytes = entry_bytes
         self.default_action = default_action
         self._entries: List[TableEntry] = []
+        #: Exact-match fast path: match value -> entry.  Disabled (None)
+        #: for ternary/LPM tables and for exact tables holding a match
+        #: value that is callable or unhashable.
+        self._exact_index: Optional[Dict[Any, TableEntry]] = (
+            {} if match_kind == MatchKind.EXACT else None)
+
+    def _index_entry(self, entry: TableEntry) -> Optional[TableEntry]:
+        """Index ``entry``; returns the displaced duplicate, if any.
+        Falls back to scan mode on unindexable match values."""
+        if self._exact_index is None:
+            return None
+        if callable(entry.match):
+            self._exact_index = None
+            return None
+        try:
+            previous = self._exact_index.get(entry.match)
+            self._exact_index[entry.match] = entry
+        except TypeError:  # unhashable match value
+            self._exact_index = None
+            return None
+        return previous
 
     # ------------------------------------------------------------------
     def insert(self, match: Any, action: str,
                params: Optional[Dict[str, Any]] = None,
                priority: int = 0) -> TableEntry:
+        if self._exact_index is not None and not callable(match):
+            try:
+                existing = self._exact_index.get(match)
+            except TypeError:
+                existing = None
+            if existing is not None:
+                # Upsert: one slot per key in an exact table.
+                existing.action = action
+                existing.params = dict(params or {})
+                existing.priority = priority
+                return existing
         if len(self._entries) >= self.max_entries:
             raise OverflowError(
                 f"table {self.name!r} is full ({self.max_entries} entries)")
         entry = TableEntry(match=match, action=action,
                            params=dict(params or {}), priority=priority)
         self._entries.append(entry)
+        self._index_entry(entry)
         return entry
 
     def delete(self, match: Any) -> int:
         before = len(self._entries)
         self._entries = [e for e in self._entries if e.match != match]
-        return before - len(self._entries)
+        removed = before - len(self._entries)
+        if self._exact_index is not None and removed:
+            try:
+                self._exact_index.pop(match, None)
+            except TypeError:
+                pass
+        return removed
 
     def lookup(self, key: Any) -> Tuple[str, Dict[str, Any]]:
         """Return (action, params) for the best-matching entry.
 
-        Exact tables compare equality; ternary/LPM entries may provide a
-        callable match predicate (``match(key) -> bool``); ties break on
-        priority (higher wins), then insertion order.
+        Exact tables compare equality (O(1) via the hash index);
+        ternary/LPM entries may provide a callable match predicate
+        (``match(key) -> bool``); ties break on priority (higher wins),
+        then insertion order (earlier entry wins).
         """
+        if self._exact_index is not None:
+            try:
+                entry = self._exact_index.get(key)
+            except TypeError:
+                entry = None
+            if entry is None:
+                return self.default_action, {}
+            return entry.action, entry.params
         best: Optional[TableEntry] = None
         for entry in self._entries:
             matched = (entry.match(key) if callable(entry.match)
@@ -83,6 +141,40 @@ class MatchActionTable:
         if best is None:
             return self.default_action, {}
         return best.action, best.params
+
+    def lookup_batch(self, keys: Sequence[Any]
+                     ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Vectorized :meth:`lookup` over a key column.
+
+        Exact tables resolve each key with one dict probe; scan-mode
+        tables memoize per unique key so the entry list is walked once
+        per distinct key rather than once per packet.
+        """
+        index = self._exact_index
+        if index is not None:
+            default = (self.default_action, {})
+            out: List[Tuple[str, Dict[str, Any]]] = []
+            for key in keys:
+                try:
+                    entry = index.get(key)
+                except TypeError:
+                    entry = None
+                out.append(default if entry is None
+                           else (entry.action, entry.params))
+            return out
+        cache: Dict[Any, Tuple[str, Dict[str, Any]]] = {}
+        out = []
+        for key in keys:
+            try:
+                result = cache.get(key)
+            except TypeError:
+                out.append(self.lookup(key))
+                continue
+            if result is None:
+                result = self.lookup(key)
+                cache[key] = result
+            out.append(result)
+        return out
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -9,9 +9,11 @@ rate-limiting boosters declare as a shareable PPM.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+import zlib
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence
 
-from .registers import RegisterArray
+from .registers import RegisterArray, salt_seed
 from .resources import ResourceVector
 
 
@@ -56,6 +58,82 @@ class CountMinSketch:
     def estimate(self, key: Any) -> int:
         return min(row.read(row.index_for(key, salt))
                    for salt, row in enumerate(self.rows))
+
+    # ------------------------------------------------------------------
+    # Batch kernels (see DESIGN.md "Batch data plane"): byte-identical
+    # end state to the sequential loop, one key encode + one CRC pass
+    # per (row, unique key), one saturating write per touched cell.
+    # ------------------------------------------------------------------
+    def update_batch(self, keys: Sequence[Any],
+                     counts: Optional[Sequence[int]] = None) -> None:
+        """Vectorized :meth:`update` over a key column.
+
+        Counts default to 1 per key.  Saturating adds of non-negative
+        increments commute, so per-key totals can be folded before any
+        cell is touched without changing the final register state.
+        """
+        totals: Dict[Any, int]
+        if counts is None:
+            totals = Counter(keys)
+            batch_total = len(keys)
+        else:
+            if len(keys) != len(counts):
+                raise ValueError(
+                    f"{self.name}: key/count column length mismatch "
+                    f"({len(keys)} vs {len(counts)})")
+            # Counter(zip(...)) folds duplicate (key, count) pairs at C
+            # speed; the Python loop then runs over unique pairs only.
+            totals = {}
+            get = totals.get
+            batch_total = 0
+            for (key, count), mult in Counter(zip(keys, counts)).items():
+                if count < 0:
+                    raise ValueError(
+                        "count-min does not support decrements")
+                added = count * mult
+                totals[key] = get(key, 0) + added
+                batch_total += added
+        encoded = [repr(key).encode() for key in totals]
+        deltas = list(totals.values())
+        crc = zlib.crc32
+        for salt, row in enumerate(self.rows):
+            seed = salt_seed(salt)
+            width = row.size
+            row.add_batch([crc(kb, seed) % width for kb in encoded],
+                          deltas)
+        self.total += batch_total
+
+    def query_batch(self, keys: Sequence[Any]) -> List[int]:
+        """Vectorized :meth:`estimate`; each unique key is hashed once."""
+        cache: Dict[Any, int] = {}
+        out: List[int] = []
+        rows = self.rows
+        crc = zlib.crc32
+        seeds = [salt_seed(salt) for salt in range(self.depth)]
+        for key in keys:
+            value = cache.get(key)
+            if value is None:
+                kb = repr(key).encode()
+                value = min(row.read(crc(kb, seed) % row.size)
+                            for seed, row in zip(seeds, rows))
+                cache[key] = value
+            out.append(value)
+        return out
+
+    def update_batch_reference(self, keys: Sequence[Any],
+                               counts: Optional[Sequence[int]] = None
+                               ) -> None:
+        """Sequential twin of :meth:`update_batch` (property-test oracle)."""
+        if counts is None:
+            for key in keys:
+                self.update(key)
+        else:
+            for key, count in zip(keys, counts):
+                self.update(key, count)
+
+    def query_batch_reference(self, keys: Sequence[Any]) -> List[int]:
+        """Sequential twin of :meth:`query_batch`."""
+        return [self.estimate(key) for key in keys]
 
     def clear(self) -> None:
         for row in self.rows:

@@ -28,7 +28,8 @@ from .routing import (NoRouteError, Path, all_shortest_paths,
                       install_switch_routes, install_switch_routes_reference,
                       k_shortest_paths, k_shortest_paths_reference,
                       shortest_path, shortest_path_reference)
-from .sources import MeterWindow, PacketSource, ThroughputMeter
+from .sources import (BatchPacketSource, MeterWindow, PacketSource,
+                      ThroughputMeter)
 from .switch import (Consume, Decision, Drop, Forward, LegacySwitchError,
                      ProgrammableSwitch,
                      SwitchProgram, SwitchStats)
@@ -70,6 +71,6 @@ __all__ = [
     "shortest_path", "shortest_path_reference", "uniform_matrix",
     "DemandModulator",
     "EnterpriseWorkload", "diurnal_profile", "elephant_mice_split",
-    "enterprise_workload", "pareto_sizes", "MeterWindow",
-    "PacketSource", "ThroughputMeter",
+    "enterprise_workload", "pareto_sizes", "BatchPacketSource",
+    "MeterWindow", "PacketSource", "ThroughputMeter",
 ]

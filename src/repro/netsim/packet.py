@@ -32,6 +32,12 @@ class PacketKind(enum.Enum):
     SYNC = "sync"                    # detector view synchronization digest
     RECONFIG_NOTICE = "reconfig_notice"  # switch-about-to-repurpose notice
 
+    # Enum.__hash__ is a Python-level call; kinds are hashed per packet
+    # by the batch kernels (kind-count Counters, flow-tuple dedupe).
+    # Members are singletons with identity equality, so the C identity
+    # hash is a coherent drop-in — nothing persists hash() values.
+    __hash__ = object.__hash__
+
 
 class Protocol(enum.Enum):
     """Transport protocols the flow table keys on."""
@@ -39,6 +45,8 @@ class Protocol(enum.Enum):
     TCP = 6
     UDP = 17
     ICMP = 1
+
+    __hash__ = object.__hash__  # see PacketKind.__hash__
 
 
 @dataclass(frozen=True)
@@ -50,6 +58,19 @@ class FlowKey:
     proto: Protocol = Protocol.TCP
     sport: int = 0
     dport: int = 0
+
+    def __hash__(self) -> int:
+        # Same value the dataclass-generated hash would produce, but
+        # computed once per object: flow keys are hashed repeatedly by
+        # the batch kernels (dedup, totals, LRU reorder), and the tuple
+        # hash recomputes the Python-level Protocol.__hash__ every time.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.src, self.dst, self.proto,
+                          self.sport, self.dport))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def reversed(self) -> "FlowKey":
         """The key of the reverse direction (for TCP state tracking)."""

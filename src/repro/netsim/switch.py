@@ -14,13 +14,30 @@ from __future__ import annotations
 import enum
 import zlib
 from dataclasses import dataclass
+from itertools import compress
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..dataplane.batch import PacketBatch
 from ..dataplane.resources import ResourceLedger, ResourceVector, TOFINO_LIKE
+from ..telemetry import metrics
 from .engine import Simulator
 from .links import Link
 from .node import Node
 from .packet import Packet, PacketKind, Protocol
+
+# Batch data-plane telemetry (see DESIGN.md "Batch data plane").  Cached
+# at module level: receive_batch is the hot path.
+_MET = metrics()
+_C_BATCH_EVENTS = _MET.counter(
+    "dataplane_batch_events_total",
+    "coalesced packet batches processed by switch pipelines")
+_C_BATCH_PACKETS = _MET.counter(
+    "dataplane_batch_packets_total",
+    "packets that arrived at switches inside a coalesced batch")
+_C_BATCH_FALLBACK = _MET.counter(
+    "dataplane_batch_fallback_packets_total",
+    "per-packet program invocations on the batch path (programs "
+    "without a vectorized kernel)")
 
 
 class Decision(enum.Enum):
@@ -63,7 +80,16 @@ class SwitchProgram:
     Subclasses override :meth:`process`.  ``name`` must be unique per
     switch (the resource ledger keys on it); ``requirement`` is the
     program's resource vector.
+
+    Programs with a vectorized kernel set :attr:`supports_batch` and
+    implement :meth:`process_batch`; everything else transparently falls
+    back to per-packet :meth:`process` when the switch receives a
+    coalesced batch (counted by ``dataplane_batch_fallback_packets_total``).
     """
+
+    #: True when :meth:`process_batch` is implemented; the batch path
+    #: falls back to per-packet :meth:`process` otherwise.
+    supports_batch = False
 
     def __init__(self, name: str,
                  requirement: ResourceVector = ResourceVector.zero()):
@@ -81,6 +107,18 @@ class SwitchProgram:
 
     def process(self, switch: "ProgrammableSwitch",
                 packet: Packet) -> ProgramResult:
+        raise NotImplementedError
+
+    def process_batch(self, switch: "ProgrammableSwitch",
+                      batch: PacketBatch) -> None:
+        """Vectorized handler, called only when :attr:`supports_batch`.
+
+        Instead of returning a :class:`ProgramResult`, the program records
+        per-packet decisions on the batch: ``batch.drop(i, reason)``,
+        ``batch.consume(i)``, or ``batch.overrides[i] = neighbor``
+        (Forward).  Only still-alive packets may be touched — earlier
+        programs' drops must stay hidden, mirroring the sequential pipeline.
+        """
         raise NotImplementedError
 
     def export_state(self) -> Dict[str, Any]:
@@ -211,6 +249,10 @@ class ProgrammableSwitch(Node):
         self.routes.clear()
 
     def _ecmp_pick(self, packet: Packet, candidates: List[str]) -> str:
+        return self._ecmp_pick_pair(packet.src, packet.dst, candidates)
+
+    def _ecmp_pick_pair(self, src: str, dst: str,
+                        candidates: List[str]) -> str:
         """Deterministic hash-based ECMP selection.
 
         Hashes only (src, dst) — per-pair rather than per-5-tuple — so a
@@ -220,8 +262,7 @@ class ProgrammableSwitch(Node):
         """
         if len(candidates) == 1:
             return candidates[0]
-        key = f"{packet.src}|{packet.dst}"
-        digest = zlib.crc32(key.encode())
+        digest = zlib.crc32(f"{src}|{dst}".encode())
         return candidates[digest % len(candidates)]
 
     def _usable(self, neighbor: str) -> bool:
@@ -237,31 +278,37 @@ class ProgrammableSwitch(Node):
 
     def _resolve_next_hop(self, packet: Packet,
                           override: Optional[str] = None) -> Optional[str]:
+        return self._resolve_route(packet.src, packet.dst, override)
+
+    def _resolve_route(self, src: str, dst: str,
+                       override: Optional[str] = None) -> Optional[str]:
         """Pick a usable next hop, applying fast reroute when the primary
-        choice is down or reconfiguring (Section 3.4)."""
+        choice is down or reconfiguring (Section 3.4).  Pure in
+        (src, dst, override) for a fixed table/link state, apart from the
+        ``fast_reroutes`` counter."""
         if override is not None:
             if self._usable(override):
                 return override
-            rerouted = self._frr_alternate(override, packet.dst)
+            rerouted = self._frr_alternate(override, dst)
             if rerouted is not None:
                 return rerouted
             return None
-        pinned = self.flow_routes.get((packet.src, packet.dst))
+        pinned = self.flow_routes.get((src, dst))
         if pinned is not None:
             if self._usable(pinned):
                 return pinned
-            alternate = self._frr_alternate(pinned, packet.dst)
+            alternate = self._frr_alternate(pinned, dst)
             if alternate is not None:
                 return alternate
             # Fall through to the destination-based tables.
-        candidates = self.routes.get(packet.dst, [])
+        candidates = self.routes.get(dst, [])
         if not candidates:
             return None
-        primary = self._ecmp_pick(packet, candidates)
+        primary = self._ecmp_pick_pair(src, dst, candidates)
         if self._usable(primary):
             return primary
         # Fast reroute: explicit alternate first, then any usable ECMP peer.
-        alternate = self._frr_alternate(primary, packet.dst)
+        alternate = self._frr_alternate(primary, dst)
         if alternate is not None:
             return alternate
         for candidate in candidates:
@@ -339,6 +386,173 @@ class ProgrammableSwitch(Node):
             return
         self.stats.packets_forwarded += 1
         self.send_via(next_hop, packet)
+
+    def receive_batch(self, packets: Sequence[Packet],
+                      from_link: Optional[Link] = None) -> None:
+        """Process a coalesced window of packets as one batch event.
+
+        Semantically equivalent to calling :meth:`receive` per packet
+        (same per-structure state, same drop decisions — the property
+        tests in ``tests/netsim/test_batch_switch.py`` enforce it), but
+        programs with vectorized kernels see the whole column at once:
+        a pre-filter stage (flagged-source masks, bloom membership
+        masks) runs over the batch and only the survivors fall through
+        to per-packet logic.  Programs without a batch kernel run
+        per-packet over the current survivors, so mixing vectorized and
+        scalar programs in one pipeline is fine.
+        """
+        n = len(packets)
+        if n == 0:
+            return
+        _C_BATCH_EVENTS.inc()
+        _C_BATCH_PACKETS.inc(n)
+        if self.reconfiguring:
+            for packet in packets:
+                packet.mark_dropped("switch_reconfiguring")
+            self.stats.packets_dropped_reconfig += n
+            return
+        name = self.name
+        taps = self.taps
+        for packet in packets:
+            packet.path_taken.append(name)
+        if taps:
+            for packet in packets:
+                for tap in taps:
+                    tap(self, packet)
+
+        batch = PacketBatch(packets)
+        # TTL stage: transit packets expire here exactly as on the
+        # per-packet path; the ICMP reply machinery takes them over, so
+        # they silently leave the batch (neither dropped nor consumed).
+        for i in range(n):
+            packet = packets[i]
+            if packet.dst != name:
+                ttl = packet.ttl - 1
+                packet.ttl = ttl
+                if ttl <= 0:
+                    self.stats.ttl_expired += 1
+                    batch.kill(i)
+                    self._reply_ttl_exceeded(packet)
+
+        for program in list(self.programs):
+            if not batch.alive_count():
+                break
+            if program.supports_batch:
+                program.process_batch(self, batch)
+                continue
+            # Fallback: the scalar program runs per surviving packet.
+            survivors = list(batch.survivors())
+            _C_BATCH_FALLBACK.inc(len(survivors))
+            for i, packet in survivors:
+                result = program.process(self, packet)
+                if result is None or result is Decision.CONTINUE:
+                    continue
+                if isinstance(result, Drop):
+                    batch.drop(i, result.reason)
+                elif isinstance(result, Consume):
+                    batch.consume(i)
+                elif isinstance(result, Forward):
+                    batch.overrides[i] = result.neighbor
+                else:
+                    raise TypeError(
+                        f"program {program.name!r} returned {result!r}")
+        stats = self.stats
+        stats.packets_dropped_by_program += batch.dropped
+        stats.packets_consumed += batch.consumed
+
+        # Local consumption plus next-hop grouping.  Routing is pure in
+        # (src, dst, override) for a fixed table state, so resolution is
+        # memoized per key; the fast-reroute counter delta is replayed on
+        # hits to keep stats identical to the per-packet path.
+        overrides = batch.overrides
+        alive = batch.alive
+        if not overrides and name not in batch.dst:
+            # Vectorized routing: no per-packet overrides and nothing
+            # addressed to this switch, so resolve each unique
+            # (src, dst) pair once.  When every pair routes cleanly (a
+            # usable hop, no fast-reroute counter side effects) the
+            # grouping runs at C speed; any complication rolls the
+            # counter back and falls through to the per-packet replay.
+            src_col = batch.src
+            dst_col = batch.dst
+            frr_before = stats.fast_reroutes
+            route_table: Dict[tuple, Optional[str]] = {}
+            resolve = self._resolve_route
+            clean = True
+            for pair in dict.fromkeys(zip(src_col, dst_col)):
+                hop = resolve(pair[0], pair[1])
+                route_table[pair] = hop
+                if hop is None:
+                    clean = False
+            if clean and stats.fast_reroutes == frr_before:
+                hop_set = set(route_table.values())
+                if len(hop_set) == 1:
+                    # Single egress for the whole window: no per-packet
+                    # hop gather needed at all.
+                    if batch.alive_count() == n:
+                        group = list(packets)
+                        sizes = batch.column("size_bytes")
+                    else:
+                        group = list(compress(packets, alive))
+                        sizes = compress(batch.column("size_bytes"), alive)
+                    stats.packets_forwarded += len(group)
+                    self.links[hop_set.pop()].send_batch(group, sizes=sizes)
+                    return
+                hops = list(map(route_table.__getitem__,
+                                zip(src_col, dst_col)))
+                hop_groups: Dict[str, List[Packet]] = {}
+                for i in range(n):
+                    if alive[i]:
+                        hop = hops[i]
+                        group = hop_groups.get(hop)
+                        if group is None:
+                            hop_groups[hop] = group = []
+                        group.append(packets[i])
+                stats.packets_forwarded += sum(map(len, hop_groups.values()))
+                for next_hop, group in hop_groups.items():
+                    self.links[next_hop].send_batch(group)
+                return
+            # Roll back the probe resolutions' only side effect and
+            # replay per packet so no-route drops and fast-reroute
+            # accounting land exactly as on the sequential path.
+            stats.fast_reroutes = frr_before
+        override_get = overrides.get if overrides else None
+        route_cache: Dict[tuple, tuple] = {}
+        cache_get = route_cache.get
+        groups: Dict[str, List[Packet]] = {}
+        forwarded = 0
+        for i in range(n):
+            if not alive[i]:
+                continue
+            packet = packets[i]
+            if packet.dst == name:
+                if packet.kind == PacketKind.RECONFIG_NOTICE:
+                    self.handle_reconfig_notice(packet)
+                stats.packets_consumed += 1
+                continue
+            override = override_get(i) if override_get is not None else None
+            cache_key = (packet.src, packet.dst, override)
+            cached = cache_get(cache_key)
+            if cached is None:
+                before = stats.fast_reroutes
+                hop = self._resolve_next_hop(packet, override)
+                cached = (hop, stats.fast_reroutes - before)
+                route_cache[cache_key] = cached
+            else:
+                stats.fast_reroutes += cached[1]
+            next_hop = cached[0]
+            if next_hop is None:
+                packet.mark_dropped("no_route")
+                stats.packets_dropped_no_route += 1
+                continue
+            forwarded += 1
+            group = groups.get(next_hop)
+            if group is None:
+                groups[next_hop] = group = []
+            group.append(packet)
+        stats.packets_forwarded += forwarded
+        for next_hop, group in groups.items():
+            self.links[next_hop].send_batch(group)
 
     def _reply_ttl_exceeded(self, packet: Packet) -> None:
         """Generate the ICMP time-exceeded reply traceroute relies on.

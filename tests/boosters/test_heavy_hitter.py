@@ -82,6 +82,43 @@ class TestDetection:
         assert pkt.dropped is None
 
 
+class TestWindowSnapshot:
+    def test_roll_window_snapshots_before_clearing(self, fig2, sim):
+        booster = HeavyHitterBooster(byte_threshold=100_000)
+        switch = fig2.topo.switch("sL")
+        switch.install_program(booster._make_detector(switch))
+        detector = booster.detectors["sL"]
+        detector.pipe.update("elephant", 250_000)
+
+        window = detector.roll_window()
+        assert window == {"elephant": 250_000}
+        # Regression for the tumbling-window race: the pipe is cleared,
+        # but local_counts (what a sync agent polls between windows)
+        # still serves the completed window instead of an empty view.
+        assert detector.pipe.total == 0
+        assert detector.local_counts() == {"elephant": 250_000.0}
+
+    def test_local_counts_live_until_first_roll(self, fig2, sim):
+        booster = HeavyHitterBooster()
+        switch = fig2.topo.switch("sL")
+        switch.install_program(booster._make_detector(switch))
+        detector = booster.detectors["sL"]
+        detector.pipe.update("mouse", 10)
+        # No tumbling window in play yet: serve the live counters.
+        assert detector.local_counts() == {"mouse": 10.0}
+
+    def test_next_roll_replaces_snapshot(self, fig2, sim):
+        booster = HeavyHitterBooster()
+        switch = fig2.topo.switch("sL")
+        switch.install_program(booster._make_detector(switch))
+        detector = booster.detectors["sL"]
+        detector.pipe.update("a", 100)
+        detector.roll_window()
+        detector.pipe.update("b", 200)
+        assert detector.roll_window() == {"b": 200}
+        assert detector.local_counts() == {"b": 200.0}
+
+
 class TestNetworkWide:
     def test_sync_agents_merge_counts(self, fig2, sim):
         booster = HeavyHitterBooster(byte_threshold=100_000)

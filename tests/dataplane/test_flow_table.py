@@ -59,6 +59,28 @@ class TestTcpStateMachine:
         table.observe("f", 1.0)
         assert table.get("f").tcp_state == TcpState.NEW
 
+    def test_fresh_syn_reopens_closed_flow(self):
+        # Regression: a reused port (same 5-tuple) starting a new
+        # handshake after FIN used to stay CLOSED forever, evading the
+        # LFA persistent-flow query.
+        table = FlowTable("t")
+        table.observe("f", 1.0, syn=True)
+        table.observe("f", 2.0, ack=True)
+        table.observe("f", 3.0, fin=True)
+        assert table.get("f").tcp_state == TcpState.CLOSED
+        table.observe("f", 4.0, syn=True)
+        assert table.get("f").tcp_state == TcpState.SYN_SEEN
+        table.observe("f", 5.0, ack=True)
+        assert table.get("f").tcp_state == TcpState.ESTABLISHED
+
+    def test_straggler_syn_ack_does_not_reopen(self):
+        # A SYN+ACK after close is a retransmitted straggler from the old
+        # connection, not a fresh handshake.
+        table = FlowTable("t")
+        table.observe("f", 1.0, rst=True)
+        table.observe("f", 2.0, syn=True, ack=True)
+        assert table.get("f").tcp_state == TcpState.CLOSED
+
 
 class TestEviction:
     def test_lru_evicts_oldest_touched(self):
@@ -125,3 +147,43 @@ class TestStateTransfer:
         assert entry.packets == 2
         assert entry.tcp_state == TcpState.ESTABLISHED
         assert entry.bytes == 30
+
+    def test_roundtrip_preserves_extra_and_evictions(self):
+        # Regression: export_state used to drop FlowEntry.extra (booster
+        # suspicion scores etc.) and the eviction counter, so a migrated
+        # detector restarted with amnesia about both.
+        table = FlowTable("t", capacity=2)
+        table.observe("a", 1.0)
+        table.get("a").extra["suspicion"] = 0.75
+        table.observe("b", 2.0)
+        table.observe("c", 3.0)  # evicts a
+        assert table.evictions == 1
+        clone = FlowTable("t", capacity=2)
+        clone.import_state(table.export_state())
+        assert clone.evictions == 1
+        assert clone.get("b").extra == {}
+        # Mutating the clone must not leak back into the source.
+        table.get("b").extra["suspicion"] = 0.1
+        assert clone.get("b").extra == {}
+
+    def test_roundtrip_extra_values_survive(self):
+        table = FlowTable("t")
+        table.observe("a", 1.0)
+        table.get("a").extra.update({"suspicion": 0.5, "digest": [1, 2]})
+        clone = FlowTable("t")
+        clone.import_state(table.export_state())
+        assert clone.get("a").extra == {"suspicion": 0.5, "digest": [1, 2]}
+
+    def test_import_legacy_snapshot_without_new_fields(self):
+        # Pre-fix snapshots carry neither "evictions" nor per-entry
+        # "extra"; they must still import cleanly.
+        table = FlowTable("t")
+        table.observe("a", 1.0)
+        state = table.export_state()
+        del state["evictions"]
+        for record in state["entries"]:
+            del record["extra"]
+        clone = FlowTable("t")
+        clone.import_state(state)
+        assert clone.evictions == 0
+        assert clone.get("a").extra == {}

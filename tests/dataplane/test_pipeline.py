@@ -34,9 +34,51 @@ class TestTable:
     def test_delete_by_match(self):
         table = MatchActionTable("t")
         table.insert("a", "x")
-        table.insert("a", "y")
-        assert table.delete("a") == 2
-        assert len(table) == 0
+        table.insert("b", "y")
+        assert table.delete("a") == 1
+        assert len(table) == 1
+        assert table.lookup("a") == ("no_op", {})
+
+    def test_exact_insert_upserts_duplicate_match(self):
+        # Regression: duplicate exact-match inserts used to leave two
+        # entries — lookup returned the stale first one while delete
+        # removed both.  Exact tables have one slot per key: re-insert
+        # updates in place.
+        table = MatchActionTable("t")
+        first = table.insert("a", "x", params={"old": 1})
+        second = table.insert("a", "y", params={"new": 2}, priority=5)
+        assert second is first
+        assert len(table) == 1
+        assert table.lookup("a") == ("y", {"new": 2})
+        assert table.delete("a") == 1
+        assert table.lookup("a") == ("no_op", {})
+
+    def test_exact_upsert_does_not_trip_capacity(self):
+        table = MatchActionTable("t", max_entries=1)
+        table.insert("a", "x")
+        table.insert("a", "y")  # upsert, not a second entry
+        assert table.lookup("a") == ("y", {})
+
+    def test_ternary_duplicates_keep_priority_tie_order(self):
+        # Ternary tables allow overlapping entries; on a priority tie the
+        # earlier insert wins (documented hardware semantics).
+        table = MatchActionTable("t", match_kind=MatchKind.TERNARY)
+        table.insert(lambda k: True, "first", priority=3)
+        table.insert(lambda k: True, "second", priority=3)
+        assert table.lookup("anything")[0] == "first"
+
+    def test_lookup_batch_matches_scalar_lookup(self):
+        table = MatchActionTable("t")
+        table.insert("k1", "drop")
+        table.insert("k2", "forward", params={"port": 9})
+        keys = ["k1", "k2", "k3", "k1"]
+        assert table.lookup_batch(keys) == [table.lookup(k) for k in keys]
+
+    def test_lookup_batch_ternary_memoizes_per_key(self):
+        table = MatchActionTable("t", match_kind=MatchKind.TERNARY)
+        table.insert(lambda k: k.startswith("10."), "internal", priority=2)
+        keys = ["10.0.0.1", "192.168.0.1", "10.0.0.1"]
+        assert table.lookup_batch(keys) == [table.lookup(k) for k in keys]
 
     def test_memory_kind_depends_on_match(self):
         exact = MatchActionTable("e", MatchKind.EXACT, max_entries=100,
