@@ -15,9 +15,15 @@ Usage::
 
     python scripts/check_bench.py [--min-speedup 2.0] \
         [--min-routing-speedup 2.0] [--min-dataplane-speedup 4.0] \
+        [--newer-than .bench_marker] \
         [path/to/BENCH_fluid.json] \
         [--routing-bench path/to/BENCH_routing.json] \
         [--dataplane-bench path/to/BENCH_dataplane.json]
+
+Exit codes: 0 all gates pass, 1 a speedup/telemetry gate failed, 2 a
+required BENCH file is missing or stale (``--newer-than``) — i.e. the
+benchmark never actually ran, and the committed repo-root defaults
+must not be allowed to stand in for it.
 
 The floors here are deliberately looser than the benchmarks' own
 asserts: CI runners are noisy shared machines, and the gate exists to
@@ -36,11 +42,48 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BENCH = REPO_ROOT / "BENCH_fluid.json"
+#: Exit code for *operational* failures (a required BENCH file missing
+#: or stale), as opposed to 1 for a genuine speedup regression.  The
+#: distinction matters in CI: 2 means "the benchmark never ran", which
+#: the committed repo-root defaults would otherwise mask by letting the
+#: gate pass on stale checked-in data.
+EXIT_STALE = 2
 DEFAULT_ROUTING_BENCH = REPO_ROOT / "BENCH_routing.json"
 DEFAULT_DATAPLANE_BENCH = REPO_ROOT / "BENCH_dataplane.json"
 #: The structure-kernel floor is fixed, not a flag: ISSUE 6 acceptance
 #: pins it at 10x and CI noise barely moves pure-Python fold timings.
 DATAPLANE_STRUCTURE_FLOOR = 10.0
+
+
+def freshness_error(path, marker):
+    """Named hard failure when ``path`` was not (re)generated after the
+    ``marker`` file was touched; None when it is fresh.
+
+    The repo commits baseline BENCH_*.json files at the repo root — the
+    same paths this script defaults to.  Without a freshness check, a
+    CI pipeline whose benchmark step silently failed to run would
+    *pass* the gate against the stale committed data.  CI touches a
+    marker before running the benchmarks and passes it via
+    ``--newer-than``; each required BENCH file must then be strictly
+    newer than the marker.
+    """
+    marker_path = Path(marker)
+    try:
+        marker_mtime = marker_path.stat().st_mtime
+    except FileNotFoundError:
+        return (f"freshness marker {marker} does not exist - touch it "
+                f"before running the benchmarks")
+    bench_path = Path(path)
+    try:
+        bench_mtime = bench_path.stat().st_mtime
+    except FileNotFoundError:
+        return (f"required benchmark output {path} is missing - the "
+                f"benchmark did not run")
+    if bench_mtime <= marker_mtime:
+        return (f"required benchmark output {path} is STALE (older than "
+                f"marker {marker}) - the benchmark did not regenerate "
+                f"it this run; refusing to gate on checked-in data")
+    return None
 
 
 def check(path, min_speedup):
@@ -147,7 +190,23 @@ def main(argv=None):
     parser.add_argument("--min-dataplane-speedup", type=float, default=4.0,
                         help="minimum acceptable batch-pipeline speedup "
                              "(default: 4.0; target 10.0)")
+    parser.add_argument("--newer-than", metavar="MARKER", default=None,
+                        help="require every BENCH file to be strictly "
+                             "newer than this marker file (exit 2 when "
+                             "one is missing or stale); CI touches the "
+                             "marker before running the benchmarks")
     args = parser.parse_args(argv)
+
+    if args.newer_than is not None:
+        stale = False
+        for bench_path in (args.bench, args.routing_bench,
+                           args.dataplane_bench):
+            error = freshness_error(bench_path, args.newer_than)
+            if error:
+                print(f"check_bench: STALE: {error}", file=sys.stderr)
+                stale = True
+        if stale:
+            return EXIT_STALE
 
     failed = False
     error = check(args.bench, args.min_speedup)

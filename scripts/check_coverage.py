@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate CI on test coverage of ``src/repro``.
+
+Reads a coverage JSON report (``pytest --cov=repro
+--cov-report=json:coverage.json``) and enforces the committed floor
+from ``coverage_baseline.json`` at the repo root::
+
+    python scripts/check_coverage.py coverage.json
+    python scripts/check_coverage.py coverage.json --min-percent 80
+
+Exit codes: ``0`` at or above the floor, ``1`` below the floor, ``2``
+operational error (report missing/invalid — i.e. coverage never ran).
+
+The floor lives in a committed baseline file instead of a CI YAML
+literal so that raising it is a reviewed repo change, and so local
+runs and CI can never disagree about the number.  The container used
+for local development does not ship ``pytest-cov``; this script only
+needs the JSON artifact, so it runs anywhere.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "coverage_baseline.json"
+
+
+def load_floor(path):
+    baseline = json.loads(Path(path).read_text())
+    floor = baseline.get("floor_percent")
+    if not isinstance(floor, (int, float)):
+        raise ValueError(
+            f"{path} has no numeric 'floor_percent' field")
+    return float(floor)
+
+
+def measured_percent(report):
+    totals = report.get("totals", {})
+    percent = totals.get("percent_covered")
+    if not isinstance(percent, (int, float)):
+        raise ValueError("report has no totals.percent_covered field")
+    return float(percent)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="coverage JSON report path")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed floor file (default: repo-root "
+                             "coverage_baseline.json)")
+    parser.add_argument("--min-percent", type=float, default=None,
+                        help="override the baseline floor")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.min_percent is not None:
+            floor = args.min_percent
+        else:
+            floor = load_floor(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"check_coverage: ERROR: baseline: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = json.loads(Path(args.report).read_text())
+        percent = measured_percent(report)
+    except FileNotFoundError:
+        print(f"check_coverage: ERROR: {args.report} not found - did "
+              f"pytest run with --cov-report=json?", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"check_coverage: ERROR: {args.report}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if percent < floor:
+        print(f"check_coverage: FAIL: {percent:.2f}% covered < "
+              f"{floor:.2f}% floor", file=sys.stderr)
+        return 1
+    print(f"check_coverage: OK: {percent:.2f}% covered "
+          f"(floor {floor:.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

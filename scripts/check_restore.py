@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Kill-and-resume CI gate for the engine checkpoint/restore subsystem.
+
+The headline guarantee of ``repro.checkpoint`` is: a run that is killed
+with SIGKILL mid-flight and restored from its last auto-checkpoint
+finishes with **byte-identical** metrics and figure outputs.  This
+script enforces that guarantee end-to-end with real processes:
+
+1. *Reference run* — ``python -m repro serve`` uninterrupted, writing
+   final metrics + the figure3 report.
+2. *Victim run* — the same serve invocation with periodic
+   auto-checkpointing; this script watches the victim's heartbeat
+   stream and delivers ``SIGKILL`` once it passes a **seed-derived**
+   event count (so different CI seeds kill at different points).
+3. *Restored run* — ``serve --restore`` from the victim's newest
+   checkpoint, running to completion.
+4. *Comparison* — the deterministic metric families (wall-clock
+   families excluded, same rule as ``repro.sweep``) and the report text
+   must match the reference **byte for byte**.
+
+Exit codes: ``0`` identical, ``1`` mismatch (determinism regression),
+``2`` operational error (serve crashed, no checkpoint written, victim
+finished before the kill point, ...).
+
+Usage::
+
+    python scripts/check_restore.py --workdir restore_gate \\
+        --duration 30 --seed 7
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+#: Metric families excluded from the byte-identity comparison (kept in
+#: sync with repro.sweep.runner.WALL_CLOCK_METRICS — asserted below
+#: when the package is importable).
+WALL_CLOCK_METRICS = ("phase_duration_seconds",)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class GateError(RuntimeError):
+    """Operational failure (exit 2), as opposed to a mismatch (exit 1)."""
+
+
+def serve_cmd(args, extra):
+    return [sys.executable, "-m", "repro", "serve",
+            "--scenario", args.scenario, "--attack",
+            "--duration", str(args.duration), "--seed", str(args.seed),
+            "--step-events", str(args.step_events),
+            "--no-commands"] + extra
+
+
+def run_serve(args, extra, env, label):
+    cmd = serve_cmd(args, extra)
+    proc = subprocess.run(cmd, env=env, cwd=REPO_ROOT,
+                          stdout=subprocess.DEVNULL, timeout=args.timeout)
+    if proc.returncode != 0:
+        raise GateError(f"{label} run failed with rc={proc.returncode}: "
+                        f"{' '.join(cmd)}")
+
+
+def last_heartbeat_events(stream_path):
+    """Newest events_executed from a serve heartbeat stream (0 if none)."""
+    events = 0
+    try:
+        with open(stream_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or '"service_heartbeat"' not in line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn write while the victim is live
+                if record.get("kind") == "service_heartbeat":
+                    events = int(record.get("events_executed", events))
+    except OSError:
+        pass
+    return events
+
+
+def kill_at(args, victim, stream_path, kill_events):
+    """Watch the heartbeat stream; SIGKILL the victim past kill_events."""
+    deadline = time.monotonic() + args.timeout
+    while True:
+        if victim.poll() is not None:
+            raise GateError(
+                f"victim finished (rc={victim.returncode}) before "
+                f"reaching the kill point of {kill_events} events — "
+                f"raise --duration or lower the kill fraction")
+        events = last_heartbeat_events(stream_path)
+        if events >= kill_events:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=60)
+            return events
+        if time.monotonic() > deadline:
+            victim.kill()
+            raise GateError(
+                f"victim never reached {kill_events} events within "
+                f"{args.timeout}s (last heartbeat: {events})")
+        time.sleep(0.05)
+
+
+def stable(snapshot):
+    return {name: family for name, family in snapshot.items()
+            if name not in WALL_CLOCK_METRICS}
+
+
+def canonical_bytes(metrics_path):
+    snapshot = json.loads(Path(metrics_path).read_text())
+    return json.dumps(stable(snapshot), sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="restore_gate",
+                        help="directory for runs, checkpoints, outputs")
+    parser.add_argument("--scenario", default="figure3_fastflex")
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--step-events", type=int, default=500)
+    parser.add_argument("--checkpoint-every-events", type=int, default=2000)
+    parser.add_argument("--kill-fraction", type=float, default=0.45,
+                        help="base kill point as a fraction of the "
+                             "reference run's total events; the exact "
+                             "point is then jittered by the seed")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-run wall-clock timeout in seconds")
+    args = parser.parse_args(argv)
+
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    ckpt_dir = workdir / "checkpoints"
+    ckpt_dir.mkdir(exist_ok=True)
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src if not env.get("PYTHONPATH")
+                         else src + os.pathsep + env["PYTHONPATH"])
+
+    # Keep the local exclusion list honest against the package's.
+    sys.path.insert(0, src)
+    from repro.sweep.runner import WALL_CLOCK_METRICS as RUNNER_WCM
+    if tuple(RUNNER_WCM) != WALL_CLOCK_METRICS:
+        raise GateError(
+            f"WALL_CLOCK_METRICS drift: script has {WALL_CLOCK_METRICS}, "
+            f"repro.sweep.runner has {tuple(RUNNER_WCM)}")
+
+    try:
+        # ---- 1. Reference run (uninterrupted) -----------------------
+        ref_metrics = workdir / "ref_metrics.json"
+        ref_report = workdir / "ref_report.txt"
+        ref_stream = workdir / "ref_stream.jsonl"
+        print(f"[gate] reference run: {args.scenario} "
+              f"duration={args.duration} seed={args.seed}")
+        run_serve(args, ["--metrics-out", str(ref_metrics),
+                         "--report-out", str(ref_report),
+                         "--stream", str(ref_stream)], env, "reference")
+        total_events = last_heartbeat_events(ref_stream)
+        if total_events <= args.checkpoint_every_events:
+            raise GateError(
+                f"reference run too short ({total_events} events) for "
+                f"checkpoint interval {args.checkpoint_every_events}")
+
+        # ---- 2. Victim run, SIGKILLed at a seed-derived point -------
+        base = int(total_events * args.kill_fraction)
+        jitter = (args.seed * 977) % args.checkpoint_every_events
+        kill_events = min(base + jitter, total_events - args.step_events)
+        kill_events = max(kill_events, args.checkpoint_every_events + 1)
+        victim_stream = workdir / "victim_stream.jsonl"
+        victim_metrics = workdir / "victim_metrics.json"
+        print(f"[gate] victim run: SIGKILL at >= {kill_events} "
+              f"of ~{total_events} events")
+        victim = subprocess.Popen(
+            serve_cmd(args, ["--checkpoint-dir", str(ckpt_dir),
+                             "--checkpoint-every-events",
+                             str(args.checkpoint_every_events),
+                             "--stream", str(victim_stream),
+                             "--metrics-out", str(victim_metrics)]),
+            env=env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL)
+        killed_at = kill_at(args, victim, victim_stream, kill_events)
+        print(f"[gate] victim killed at ~{killed_at} events "
+              f"(rc={victim.returncode})")
+        if victim_metrics.exists():
+            raise GateError("victim wrote final metrics despite SIGKILL "
+                            "— the kill landed after completion")
+
+        checkpoints = sorted(ckpt_dir.glob("ckpt_*.ckpt"))
+        if not checkpoints:
+            raise GateError("victim wrote no checkpoints before dying")
+        newest = checkpoints[-1]
+        print(f"[gate] restoring from {newest.name}")
+
+        # ---- 3. Restored run (to completion) ------------------------
+        restored_metrics = workdir / "restored_metrics.json"
+        restored_report = workdir / "restored_report.txt"
+        restore_cmd = [sys.executable, "-m", "repro", "serve",
+                       "--restore", str(newest),
+                       "--step-events", str(args.step_events),
+                       "--no-commands",
+                       "--metrics-out", str(restored_metrics),
+                       "--report-out", str(restored_report)]
+        proc = subprocess.run(restore_cmd, env=env, cwd=REPO_ROOT,
+                              stdout=subprocess.DEVNULL,
+                              timeout=args.timeout)
+        if proc.returncode != 0:
+            raise GateError(f"restored run failed with "
+                            f"rc={proc.returncode}")
+
+        # ---- 4. Byte-identity comparison ----------------------------
+        failures = []
+        if canonical_bytes(ref_metrics) != canonical_bytes(
+                restored_metrics):
+            failures.append(
+                f"stable metrics differ: {ref_metrics} vs "
+                f"{restored_metrics}")
+        if ref_report.read_bytes() != restored_report.read_bytes():
+            failures.append(
+                f"figure3 reports differ: {ref_report} vs "
+                f"{restored_report}")
+        if failures:
+            for failure in failures:
+                print(f"[gate] FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("[gate] OK: restored run is byte-identical to the "
+              "uninterrupted reference (stable metrics + report)")
+        return 0
+    except (GateError, subprocess.TimeoutExpired) as exc:
+        print(f"[gate] ERROR: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""The on-disk checkpoint container: versioned, fingerprinted, atomic.
+
+A checkpoint file is a one-line ASCII JSON header followed by two raw
+binary segments::
+
+    {"magic": "repro-checkpoint", "version": 1,
+     "globals_bytes": N, "state_bytes": M,
+     "fingerprint": "sha256:...", "meta": {...}}\n
+    <N bytes: pickled globals bundle (telemetry + sequence counters)>
+    <M bytes: pickled simulation state (telemetry-by-reference)>
+
+The header stays human-readable (``head -1 file.ckpt`` tells you what a
+checkpoint contains and when it was taken, in simulation time) while the
+payload stays compact.  The fingerprint is the SHA-256 of both payload
+segments concatenated, so truncation, bit rot, and partially written
+files are all detected before any unpickling happens — a corrupted
+checkpoint is rejected with :class:`CheckpointError`, never silently
+restored.
+
+Writes are atomic: the container is assembled in a temp file alongside
+the target and moved into place with ``os.replace``, the same pattern
+the sweep runner uses for task records.  A crash mid-write (the whole
+point of checkpoints) therefore leaves either the previous checkpoint or
+none, never a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+MAGIC = "repro-checkpoint"
+FORMAT_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint cannot be written, read, or trusted."""
+
+
+def fingerprint_payload(globals_blob: bytes, state_blob: bytes) -> str:
+    digest = hashlib.sha256()
+    digest.update(globals_blob)
+    digest.update(state_blob)
+    return f"sha256:{digest.hexdigest()}"
+
+
+def write_container(path: PathLike, globals_blob: bytes, state_blob: bytes,
+                    meta: Dict[str, Any]) -> str:
+    """Atomically write one checkpoint container; returns the fingerprint."""
+    path = Path(path)
+    fingerprint = fingerprint_payload(globals_blob, state_blob)
+    header = {
+        "magic": MAGIC,
+        "version": FORMAT_VERSION,
+        "globals_bytes": len(globals_blob),
+        "state_bytes": len(state_blob),
+        "fingerprint": fingerprint,
+        "meta": meta,
+    }
+    header_line = json.dumps(header, sort_keys=True) + "\n"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(header_line.encode("ascii"))
+            fh.write(globals_blob)
+            fh.write(state_blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+    finally:
+        if tmp.exists():  # only on failure before os.replace
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    return fingerprint
+
+
+def read_header(path: PathLike) -> Dict[str, Any]:
+    """Parse and validate only the header line (cheap inspection)."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            line = fh.readline(1 << 20)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not line.endswith(b"\n"):
+        raise CheckpointError(
+            f"{path}: missing or over-long header line - not a checkpoint "
+            f"(or truncated inside the header)")
+    try:
+        header = json.loads(line.decode("ascii"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"{path}: header is not JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("magic") != MAGIC:
+        raise CheckpointError(f"{path}: bad magic - not a repro checkpoint")
+    version = header.get("version")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})")
+    for field in ("globals_bytes", "state_bytes", "fingerprint"):
+        if field not in header:
+            raise CheckpointError(f"{path}: header missing {field!r}")
+    return header
+
+
+def read_container(path: PathLike
+                   ) -> Tuple[Dict[str, Any], bytes, bytes]:
+    """Read and verify a container; returns (header, globals, state).
+
+    Both payload segments are length- and fingerprint-checked before
+    being returned, so callers may unpickle them without re-validating.
+    """
+    path = Path(path)
+    header = read_header(path)
+    try:
+        with open(path, "rb") as fh:
+            fh.readline(1 << 20)  # header, already validated
+            globals_blob = fh.read(int(header["globals_bytes"]))
+            state_blob = fh.read(int(header["state_bytes"]))
+            trailing = fh.read(1)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if (len(globals_blob) != header["globals_bytes"]
+            or len(state_blob) != header["state_bytes"]):
+        raise CheckpointError(
+            f"{path}: truncated - expected "
+            f"{header['globals_bytes'] + header['state_bytes']} payload "
+            f"bytes, found {len(globals_blob) + len(state_blob)}")
+    if trailing:
+        raise CheckpointError(f"{path}: trailing garbage after payload")
+    actual = fingerprint_payload(globals_blob, state_blob)
+    if actual != header["fingerprint"]:
+        raise CheckpointError(
+            f"{path}: fingerprint mismatch - file is corrupt "
+            f"(header {header['fingerprint']}, payload {actual})")
+    return header, globals_blob, state_blob

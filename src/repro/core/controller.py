@@ -29,6 +29,11 @@ from .state_transfer import StateTransferService
 from .te import TeResult, greedy_min_max_te
 
 
+def _default_stability_guard(_switch) -> StabilityGuard:
+    """Default per-switch guard factory (picklable, unlike a lambda)."""
+    return StabilityGuard()
+
+
 class BoosterVerificationError(RuntimeError):
     """Raised when the §6 verifier finds error-severity problems."""
 
@@ -91,10 +96,12 @@ class FastFlexController:
         self.analyzer = ProgramAnalyzer()
         self.scheduler = Scheduler(pervasive_detection=pervasive_detection)
         self.te_candidates = te_candidates
+        # A module-level default (not a lambda): controllers live inside
+        # engine checkpoints, and closures cannot be pickled.
         self.stability_guard_factory = (
             stability_guard_factory
             if stability_guard_factory is not None
-            else (lambda _switch: StabilityGuard()))
+            else _default_stability_guard)
         self.reconfig_seconds = reconfig_seconds
 
     # ------------------------------------------------------------------

@@ -100,6 +100,46 @@ class Figure3Result:
                                         config.duration_s)
 
 
+@dataclass
+class Figure3World:
+    """A live, checkpointable Figure 3 run: every named root in one bag.
+
+    ``build_world`` constructs it, ``advance_world`` moves simulation
+    time forward (in one call or many — chunking is observationally
+    free), ``finish_world`` turns it into a :class:`Figure3Result`.
+    The whole object graph is engine-checkpointable
+    (``world.sim.snapshot(path, state=world)``), which is what
+    ``python -m repro serve`` and the sweep runner's preemption path
+    build on.
+    """
+
+    system: str
+    config: Figure3Config
+    sim: Simulator
+    net: FigureTwoNetwork
+    fluid: FluidNetwork
+    flows: FlowSet
+    monitor: Monitor
+    series: TimeSeries
+    defense: object
+    deployment: Optional[object] = None
+    attacker: Optional[RollingAttacker] = None
+    #: Attackers detached by :func:`detach_attack`; their event logs and
+    #: roll counts still belong to the run's result.
+    past_attackers: List[RollingAttacker] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.sim.now >= self.config.duration_s
+
+    def all_attackers(self) -> List[RollingAttacker]:
+        """Every attacker this world ever hosted, in attach order."""
+        attackers = list(self.past_attackers)
+        if self.attacker is not None:
+            attackers.append(self.attacker)
+        return attackers
+
+
 def _build_network(config: Figure3Config) -> Tuple[Simulator,
                                                    FigureTwoNetwork,
                                                    FluidNetwork, FlowSet]:
@@ -134,45 +174,160 @@ def _launch_attacker(net: FigureTwoNetwork, fluid: FluidNetwork,
     return attacker
 
 
-def run_baseline(config: Optional[Figure3Config] = None) -> Figure3Result:
-    """The SDN-TE baseline run."""
+def build_world(system: str, config: Optional[Figure3Config] = None,
+                defense_overrides: Optional[dict] = None,
+                launch_attacker: bool = True) -> Figure3World:
+    """Build one system's live world, ready to ``advance_world``.
+
+    ``system`` is ``"baseline_sdn"`` or ``"fastflex"``.  With
+    ``launch_attacker=False`` the scenario starts attack-free (the
+    service driver's mode: attacks are attached as live injections via
+    :func:`attach_attack`).  Construction order is part of the
+    determinism contract — every RNG draw and event sequence number
+    below must match what the pre-world-API runners did.
+    """
     config = config if config is not None else Figure3Config()
-    _TRACE.set_context(system="baseline_sdn")
+    _TRACE.set_context(system=system)
     _TRACE.emit("experiment_start", sim_time=0.0, experiment="figure3",
                 duration_s=config.duration_s, seed=config.seed)
     sim, net, fluid, flows = _build_network(config)
-    topo = net.topo
 
-    install_host_routes(topo)
-    install_switch_routes(topo)
-    install_fast_reroute_alternates(topo)
-    # Initial configuration: TE over the stable (pre-attack) matrix.
-    te = greedy_min_max_te(topo, list(flows))
-    for flow in flows:
-        install_flow_route(topo, flow.path)
+    deployment = None
+    if system == "baseline_sdn":
+        topo = net.topo
+        install_host_routes(topo)
+        install_switch_routes(topo)
+        install_fast_reroute_alternates(topo)
+        # Initial configuration: TE over the stable (pre-attack) matrix.
+        greedy_min_max_te(topo, list(flows))
+        for flow in flows:
+            install_flow_route(topo, flow.path)
+        defense: object = SdnTeDefense(topo, fluid,
+                                       period_s=config.te_period_s)
+        defense.start()
+    elif system == "fastflex":
+        lfa: LfaDefense = build_figure2_defense(
+            net, fluid, **(defense_overrides or {}))
+        deployment = lfa.setup(flows)
+        for flow in flows:
+            install_flow_route(net.topo, flow.path)
+        defense = lfa
+    else:
+        raise ValueError(f"unknown figure3 system {system!r}; expected "
+                         f"'baseline_sdn' or 'fastflex'")
 
-    defense = SdnTeDefense(topo, fluid, period_s=config.te_period_s)
-    defense.start()
     fluid.start()
     monitor = Monitor(fluid, period=config.sample_period_s)
     series = monitor.watch_normal_goodput(config.normal_demand_total)
     monitor.start()
 
-    attacker = _launch_attacker(net, fluid, config)
+    attacker = (_launch_attacker(net, fluid, config)
+                if launch_attacker else None)
+    return Figure3World(system=system, config=config, sim=sim, net=net,
+                        fluid=fluid, flows=flows, monitor=monitor,
+                        series=series, defense=defense,
+                        deployment=deployment, attacker=attacker)
+
+
+def advance_world(world: Figure3World, until: Optional[float] = None,
+                  max_events: Optional[int] = None) -> float:
+    """Run the world forward; returns the simulation clock.
+
+    Splitting the horizon into many ``advance_world`` calls (the serve
+    driver's slices, the sweep runner's preemption budget) executes the
+    exact same event sequence as one call — chunking only decides how
+    often control returns to the caller.
+    """
+    horizon = until if until is not None else world.config.duration_s
+    return world.sim.run(until=horizon, max_events=max_events)
+
+
+def attach_attack(world: Figure3World, start_delay: float = 1.0,
+                  **overrides) -> RollingAttacker:
+    """Live injection: launch the rolling Crossfire attacker mid-run."""
+    if world.attacker is not None:
+        raise ValueError("an attacker is already attached to this world")
+    config = world.config
+    attacker = RollingAttacker(
+        world.net.topo, world.fluid, bots=world.net.bot_hosts,
+        decoys=world.net.decoy_servers, victim=world.net.victim,
+        check_period_s=overrides.pop("check_period_s",
+                                     config.attacker_check_period_s),
+        reaction_delay_s=overrides.pop("reaction_delay_s",
+                                       config.attacker_reaction_delay_s),
+        connections_per_bot=overrides.pop("connections_per_bot",
+                                          config.connections_per_bot),
+        per_connection_bps=overrides.pop("per_connection_bps",
+                                         config.per_connection_bps),
+        **overrides)
+    attacker.map_then_attack(start_delay=start_delay)
+    world.attacker = attacker
+    _TRACE.emit("attack_attached", sim_time=world.sim.now,
+                start_delay_s=start_delay)
+    return attacker
+
+
+def detach_attack(world: Figure3World) -> None:
+    """Live injection: stop every attack flow and clear the active
+    attacker slot (a later :func:`attach_attack` may install a new
+    one).  The detached attacker's event log and roll count stay part
+    of the run via :attr:`Figure3World.past_attackers`."""
+    if world.attacker is None:
+        raise ValueError("no attacker attached to this world")
+    world.attacker.stop_all_flows()
+    _TRACE.emit("attack_detached", sim_time=world.sim.now,
+                rolls=world.attacker.roll_count)
+    world.past_attackers.append(world.attacker)
+    world.attacker = None
+
+
+def fail_link(world: Figure3World, a: str, b: str) -> None:
+    """Live injection: remove a link (flows crossing it zero-route until
+    a defense or TE pass moves them)."""
+    world.net.topo.remove_link(a, b)
+    _TRACE.emit("link_failed", sim_time=world.sim.now, link=(a, b))
+
+
+def set_link_capacity(world: Figure3World, a: str, b: str,
+                      capacity_bps: float) -> None:
+    """Live injection: degrade or restore one direction's capacity."""
+    world.net.topo.link(a, b).set_capacity(capacity_bps)
+    _TRACE.emit("link_capacity_set", sim_time=world.sim.now, link=(a, b),
+                capacity_bps=capacity_bps)
+
+
+def finish_world(world: Figure3World) -> Figure3Result:
+    """Close out a finished (or abandoned) run into a result object."""
+    attackers = world.all_attackers()
+    rolls = sum(attacker.roll_count for attacker in attackers)
+    attack_events: List = []
+    for attacker in attackers:
+        attack_events.extend(attacker.events)
+    _TRACE.emit("experiment_end", sim_time=world.sim.now,
+                experiment="figure3", rolls=rolls)
+    _TRACE.clear_context("system")
+    result = Figure3Result(
+        system=world.system, throughput=world.series,
+        attack_events=attack_events,
+        rolls=rolls,
+        fluid_updates=world.fluid.updates,
+        fluid_allocation_passes=world.fluid.allocation_passes)
+    if world.system == "baseline_sdn":
+        result.te_reconfigs = list(world.defense.records)
+    else:
+        result.detections = list(world.defense.detector.detections)
+        result.mode_events = list(world.deployment.bus.events)
+    return result
+
+
+def run_baseline(config: Optional[Figure3Config] = None) -> Figure3Result:
+    """The SDN-TE baseline run."""
+    config = config if config is not None else Figure3Config()
+    world = build_world("baseline_sdn", config)
     with phase_timer("figure3_baseline_run", trace=_TRACE,
                      sim_time=config.duration_s):
-        sim.run(until=config.duration_s)
-
-    _TRACE.emit("experiment_end", sim_time=sim.now, experiment="figure3",
-                rolls=attacker.roll_count)
-    _TRACE.clear_context("system")
-    return Figure3Result(
-        system="baseline_sdn", throughput=series,
-        attack_events=list(attacker.events),
-        te_reconfigs=list(defense.records),
-        rolls=attacker.roll_count,
-        fluid_updates=fluid.updates,
-        fluid_allocation_passes=fluid.allocation_passes)
+        advance_world(world, config.duration_s)
+    return finish_world(world)
 
 
 def run_fastflex(config: Optional[Figure3Config] = None,
@@ -180,38 +335,12 @@ def run_fastflex(config: Optional[Figure3Config] = None,
                  ) -> Figure3Result:
     """The FastFlex run (multimode data plane, no runtime controller)."""
     config = config if config is not None else Figure3Config()
-    _TRACE.set_context(system="fastflex")
-    _TRACE.emit("experiment_start", sim_time=0.0, experiment="figure3",
-                duration_s=config.duration_s, seed=config.seed)
-    sim, net, fluid, flows = _build_network(config)
-
-    defense: LfaDefense = build_figure2_defense(
-        net, fluid, **(defense_overrides or {}))
-    deployment = defense.setup(flows)
-    for flow in flows:
-        install_flow_route(net.topo, flow.path)
-
-    fluid.start()
-    monitor = Monitor(fluid, period=config.sample_period_s)
-    series = monitor.watch_normal_goodput(config.normal_demand_total)
-    monitor.start()
-
-    attacker = _launch_attacker(net, fluid, config)
+    world = build_world("fastflex", config,
+                        defense_overrides=defense_overrides)
     with phase_timer("figure3_fastflex_run", trace=_TRACE,
                      sim_time=config.duration_s):
-        sim.run(until=config.duration_s)
-
-    _TRACE.emit("experiment_end", sim_time=sim.now, experiment="figure3",
-                rolls=attacker.roll_count)
-    _TRACE.clear_context("system")
-    return Figure3Result(
-        system="fastflex", throughput=series,
-        attack_events=list(attacker.events),
-        detections=list(defense.detector.detections),
-        mode_events=list(deployment.bus.events),
-        rolls=attacker.roll_count,
-        fluid_updates=fluid.updates,
-        fluid_allocation_passes=fluid.allocation_passes)
+        advance_world(world, config.duration_s)
+    return finish_world(world)
 
 
 def run_both(config: Optional[Figure3Config] = None

@@ -67,6 +67,37 @@ class TimeSeries:
         return len(self.samples)
 
 
+class NormalizedGoodputProbe:
+    """Picklable sampling callable: normal goodput over a fixed baseline.
+
+    Monitors live inside engine checkpoints (the periodic sample event
+    holds a reference to the whole monitor), so sampling functions must
+    be plain objects rather than closures — closures cannot be pickled
+    by :mod:`repro.checkpoint`.
+    """
+
+    __slots__ = ("fluid", "baseline_bps")
+
+    def __init__(self, fluid: FluidNetwork, baseline_bps: float) -> None:
+        self.fluid = fluid
+        self.baseline_bps = baseline_bps
+
+    def __call__(self) -> float:
+        return self.fluid.normal_goodput() / self.baseline_bps
+
+
+class LinkUtilizationProbe:
+    """Picklable sampling callable: one link's combined utilization."""
+
+    __slots__ = ("link",)
+
+    def __init__(self, link) -> None:
+        self.link = link
+
+    def __call__(self) -> float:
+        return self.link.utilization
+
+
 class Monitor:
     """Samples registered gauges every ``period`` seconds of sim time.
 
@@ -108,13 +139,13 @@ class Monitor:
         if baseline_bps <= 0:
             raise ValueError("baseline must be positive")
         return self.add_gauge(
-            name, lambda: self.fluid.normal_goodput() / baseline_bps)
+            name, NormalizedGoodputProbe(self.fluid, baseline_bps))
 
     def watch_link_utilization(self, a: str, b: str,
                                name: Optional[str] = None) -> TimeSeries:
         label = name if name is not None else f"util:{a}->{b}"
         link = self.fluid.topo.link(a, b)
-        return self.add_gauge(label, lambda: link.utilization)
+        return self.add_gauge(label, LinkUtilizationProbe(link))
 
     # ------------------------------------------------------------------
     def start(self) -> "Monitor":

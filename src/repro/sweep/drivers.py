@@ -120,21 +120,80 @@ def figure3_driver(seed: int, params: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
-@register_driver("figure3_baseline")
-def figure3_baseline_driver(seed: int,
-                            params: Dict[str, Any]) -> Dict[str, Any]:
-    from ..experiments.figure3 import run_baseline
-    config = _figure3_config(seed, params)
-    result = run_baseline(config)
-    return {"scalars": _summarize(result, config, "baseline"),
-            "series": {"baseline_sdn": _series(result)}}
+# ----------------------------------------------------------------------
+# Checkpointable drivers (sweep task preemption)
+# ----------------------------------------------------------------------
+
+class CheckpointableDriver:
+    """A driver the runner can *preempt* mid-task and resume later from
+    an engine checkpoint (``tasks/<id>.part.ckpt``).
+
+    Besides being a plain callable (``driver(seed, params) -> record``),
+    a checkpointable driver exposes the build/advance/finish protocol::
+
+        world = driver.build(seed, params)      # construct, don't run
+        driver.advance(world, max_events=N)     # bounded slice
+        world.done                              # horizon reached?
+        record = driver.finish(world)           # summarize
+
+    The world object must round-trip through ``world.sim.snapshot()`` /
+    ``Simulator.restore()`` — i.e. follow the checkpoint-pickling rules
+    (telemetry by reference, no closures).  ``run_task`` uses the
+    protocol only when ``--preempt-events`` is set; the plain callable
+    path stays byte-identical to non-checkpointable drivers.
+    """
+
+    def build(self, seed: int, params: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def advance(self, world: Any, max_events: int) -> None:
+        raise NotImplementedError
+
+    def finish(self, world: Any) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def __call__(self, seed: int, params: Dict[str, Any]
+                 ) -> Dict[str, Any]:
+        raise NotImplementedError
 
 
-@register_driver("figure3_fastflex")
-def figure3_fastflex_driver(seed: int,
-                            params: Dict[str, Any]) -> Dict[str, Any]:
-    from ..experiments.figure3 import run_fastflex
-    config = _figure3_config(seed, params)
-    result = run_fastflex(config)
-    return {"scalars": _summarize(result, config, "fastflex"),
-            "series": {"fastflex": _series(result)}}
+class Figure3WorldDriver(CheckpointableDriver):
+    """Single-system figure3 driver over the world API
+    (:func:`repro.experiments.figure3.build_world` and friends)."""
+
+    #: engine events per :meth:`advance` slice on the plain path
+    STEP_EVENTS = 4096
+
+    def __init__(self, system: str, prefix: str, series_key: str):
+        self.system = system
+        self.prefix = prefix
+        self.series_key = series_key
+
+    def build(self, seed: int, params: Dict[str, Any]) -> Any:
+        from ..experiments.figure3 import build_world
+        config = _figure3_config(seed, params)
+        return build_world(self.system, config)
+
+    def advance(self, world: Any, max_events: int) -> None:
+        from ..experiments.figure3 import advance_world
+        advance_world(world, max_events=max_events)
+
+    def finish(self, world: Any) -> Dict[str, Any]:
+        from ..experiments.figure3 import finish_world
+        result = finish_world(world)
+        return {"scalars": _summarize(result, world.config, self.prefix),
+                "series": {self.series_key: _series(result)}}
+
+    def __call__(self, seed: int, params: Dict[str, Any]
+                 ) -> Dict[str, Any]:
+        world = self.build(seed, params)
+        while not world.done:
+            self.advance(world, max_events=self.STEP_EVENTS)
+        return self.finish(world)
+
+
+register_driver("figure3_baseline",
+                Figure3WorldDriver("baseline_sdn", "baseline",
+                                   "baseline_sdn"))
+register_driver("figure3_fastflex",
+                Figure3WorldDriver("fastflex", "fastflex", "fastflex"))

@@ -432,6 +432,63 @@ class MetricsRegistry:
         return self
 
     # ------------------------------------------------------------------
+    def restore_snapshot(
+            self, snapshot: Dict[str, Dict[str, Any]]) -> "MetricsRegistry":
+        """Restore this registry *exactly* to a :meth:`snapshot`, in place.
+
+        Where :meth:`merge` folds snapshots additively (and skips
+        zero-valued entries so worker sharding stays key-set
+        independent), ``restore_snapshot`` is the checkpoint/restore
+        primitive: every live family is zeroed, then every family in
+        the snapshot — including zero-valued ones and zero-valued
+        labeled children — is recreated with its exact kind, label
+        names, bucket bounds, and values.  After a restore,
+        ``registry.snapshot()`` equals the input snapshot modulo
+        families the snapshot never mentioned (those stay registered
+        but zeroed, which is what in-place :meth:`reset` guarantees
+        cached metric objects anyway).
+
+        Kind or label-set conflicts with live families raise
+        :class:`MetricError` — restoring a checkpoint into a process
+        whose instrumentation disagrees with the checkpoint's is an
+        error worth surfacing, not papering over.
+        """
+        for metric in self._metrics.values():
+            metric.reset()
+        for name in sorted(snapshot):
+            family = snapshot[name]
+            kind = family.get("kind", Counter.kind)
+            labelnames = tuple(family.get("labelnames", ()))
+            description = family.get("description", "")
+            value = family["value"]
+            metric: Metric
+            if kind == Histogram.kind:
+                bounds: Optional[Tuple[float, ...]] = None
+                for candidate in [value] + list(
+                        family.get("labels", {}).values()):
+                    if isinstance(candidate, dict) and candidate.get("bounds"):
+                        bounds = tuple(candidate["bounds"])
+                        break
+                metric = self.histogram(name, description, labelnames,
+                                        buckets=bounds or DEFAULT_BUCKETS)
+            elif kind == Counter.kind:
+                metric = self.counter(name, description, labelnames)
+            elif kind == Gauge.kind:
+                metric = self.gauge(name, description, labelnames)
+            else:
+                raise MetricError(
+                    f"{name!r}: cannot restore unknown kind {kind!r}")
+            metric._reset_value()
+            if not _zero_snap(value):
+                metric._merge_snap(value)
+            for joined, child_value in family.get("labels", {}).items():
+                child = metric.labels(*joined.split(","))
+                child._reset_value()
+                if not _zero_snap(child_value):
+                    child._merge_snap(child_value)
+        return self
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """A JSON-serializable dict of every family's current state."""
         return {name: self._metrics[name].snapshot()

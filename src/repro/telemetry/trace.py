@@ -121,6 +121,46 @@ class EventTrace:
         return [e for e in self.events if t0 <= e.sim_time < t1]
 
     # ------------------------------------------------------------------
+    def drain(self) -> List[TraceEvent]:
+        """Return all buffered events and clear the buffer.
+
+        The context, capacity, ``enabled`` flag, and cumulative
+        ``dropped`` count are kept — draining is the streaming-export
+        primitive (``python -m repro serve`` drains to a JSONL stream
+        between engine slices), not a reset.  Draining frees buffer
+        capacity, so a long-lived run that drains faster than it emits
+        never drops events.
+        """
+        events = self.events
+        self.events = []
+        return events
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable full state, for engine checkpoints."""
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "context": dict(self.context),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output in place (checkpoint
+        restore: same object identity, new contents)."""
+        self.enabled = bool(state["enabled"])
+        self.capacity = int(state["capacity"])
+        self.dropped = int(state["dropped"])
+        self.context = dict(state["context"])
+        events: List[TraceEvent] = []
+        for record in state["events"]:
+            fields = {key: value for key, value in record.items()
+                      if key not in ("kind", "sim_time", "wall_time")}
+            events.append(TraceEvent(record["kind"], record["sim_time"],
+                                     record["wall_time"], fields))
+        self.events = events
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         """Drop all events and context; keep the enabled flag."""
         self.events.clear()

@@ -1,0 +1,21 @@
+"""Checkpoint-test isolation.
+
+Checkpoint save/load and the serve driver intentionally mutate the
+process-wide telemetry layer (loading restores checkpoint-time
+registry/trace state; serving with a stream enables the trace).  Tests
+elsewhere in the suite assume that layer starts quiet, so restore it
+after every test here.
+"""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _quiet_telemetry_after():
+    trace = telemetry.trace()
+    enabled_before = trace.enabled
+    yield
+    trace.enabled = enabled_before
+    telemetry.reset()

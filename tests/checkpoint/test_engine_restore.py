@@ -1,0 +1,252 @@
+"""Whole-engine restore equivalence: figure3 worlds, sweep preemption,
+and the serve driver.
+
+These tests exercise the headline guarantee in-process (the CI
+``crash-restore`` job does it again with real SIGKILLed processes via
+``scripts/check_restore.py``): a run restored from a checkpoint
+finishes with results identical to one that was never interrupted.
+"""
+
+import asyncio
+import io
+import itertools
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.checkpoint import CheckpointError, save_checkpoint
+from repro.checkpoint.service import SCENARIOS, EngineService
+from repro.experiments.figure3 import (Figure3Config, advance_world,
+                                       attach_attack, build_world,
+                                       detach_attack, fail_link,
+                                       finish_world)
+from repro.netsim import flows as flows_module
+from repro.netsim.engine import Simulator
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep.runner import stable_metrics
+
+CONFIG = Figure3Config(duration_s=8.0, seed=11)
+
+
+def run_world_to_end(system, config=CONFIG):
+    telemetry.reset()
+    world = build_world(system, config)
+    advance_world(world)
+    result = finish_world(world)
+    return result, stable_metrics(telemetry.metrics().snapshot())
+
+
+def poison_process_state():
+    """Make the process observably different from the checkpoint-time
+    process: restore must undo all of this."""
+    telemetry.reset()
+    flows_module._flow_ids = itertools.count(999_983)
+
+
+class TestFigure3KillRestore:
+    @pytest.mark.parametrize("system", ["fastflex", "baseline_sdn"])
+    def test_restored_run_matches_uninterrupted(self, tmp_path, system):
+        reference, reference_metrics = run_world_to_end(system)
+
+        telemetry.reset()
+        world = build_world(system, CONFIG)
+        advance_world(world, max_events=800)
+        path = tmp_path / "mid.ckpt"
+        world.sim.snapshot(path, state=world)
+
+        poison_process_state()
+        sim, restored, meta = Simulator.restore(path)
+        assert meta["events_executed"] == 800
+        assert not restored.done
+        advance_world(restored)
+        result = finish_world(restored)
+
+        assert result.throughput.samples == reference.throughput.samples
+        assert result.rolls == reference.rolls
+        assert [d.time for d in result.detections] == \
+            [d.time for d in reference.detections]
+        assert stable_metrics(telemetry.metrics().snapshot()) == \
+            reference_metrics
+
+    def test_snapshot_is_observationally_free(self, tmp_path):
+        reference, reference_metrics = run_world_to_end("fastflex")
+        telemetry.reset()
+        world = build_world("fastflex", CONFIG)
+        for index in range(4):  # checkpoint four times mid-run
+            advance_world(world, max_events=1500)
+            world.sim.snapshot(tmp_path / f"free_{index}.ckpt",
+                               state=world)
+        advance_world(world)
+        result = finish_world(world)
+        assert result.throughput.samples == reference.throughput.samples
+        assert stable_metrics(telemetry.metrics().snapshot()) == \
+            reference_metrics
+
+    def test_restore_rejects_non_engine_checkpoint(self, tmp_path):
+        path = tmp_path / "other.ckpt"
+        save_checkpoint(path, {"state": "no simulator here"})
+        with pytest.raises(CheckpointError, match="Simulator"):
+            Simulator.restore(path)
+
+
+class TestSweepPreemption:
+    # duration must clear the _summarize attack window (attack start
+    # 5 s + 2 s settle), or finish-time summarization has no samples.
+    SPEC = dict(experiment="figure3_fastflex", seeds=[0, 1],
+                base_params={"duration_s": 10.0})
+
+    def test_preempted_sweep_matches_straight_run(self, tmp_path):
+        straight = run_sweep(SweepSpec(**self.SPEC),
+                             out_dir=tmp_path / "straight")
+        out = tmp_path / "preempted"
+        chunks = run_sweep(SweepSpec(**self.SPEC), out_dir=out,
+                           preempt_events=2500)
+        assert len(chunks.preempted) == 2
+        assert chunks.summary()["preempted"] == 2
+        assert (out / "tasks").glob("*.part.ckpt")
+        rounds = 0
+        while chunks.preempted:
+            rounds += 1
+            assert rounds < 10, "preempted sweep never converged"
+            chunks = run_sweep(SweepSpec(**self.SPEC), out_dir=out,
+                               resume=True, preempt_events=2500)
+        assert json.dumps(chunks.aggregates, sort_keys=True) == \
+            json.dumps(straight.aggregates, sort_keys=True)
+        assert json.dumps(stable_metrics(chunks.merged_metrics),
+                          sort_keys=True) == \
+            json.dumps(stable_metrics(straight.merged_metrics),
+                       sort_keys=True)
+        # Completion superseded the partial checkpoints.
+        assert list((out / "tasks").glob("*.part.ckpt")) == []
+
+    def test_fresh_sweep_discards_stale_partials(self, tmp_path):
+        out = tmp_path / "fresh"
+        preempted = run_sweep(SweepSpec(**self.SPEC), out_dir=out,
+                              preempt_events=2000)
+        assert preempted.preempted
+        partials = list((out / "tasks").glob("*.part.ckpt"))
+        assert partials
+        # A non-resume sweep must not silently continue old state.
+        complete = run_sweep(SweepSpec(**self.SPEC), out_dir=out)
+        assert not complete.preempted
+        assert len(complete.records) == 2
+
+    def test_preempt_without_out_dir_refused(self):
+        with pytest.raises(ValueError, match="out_dir"):
+            run_sweep(SweepSpec(**self.SPEC), preempt_events=100)
+
+    def test_preempt_with_plain_driver_is_task_error(self, tmp_path):
+        result = run_sweep(
+            SweepSpec(experiment="figure3", seeds=[0],
+                      base_params={"duration_s": 6.0}),
+            out_dir=tmp_path / "plain", preempt_events=100)
+        assert len(result.errors) == 1
+        assert "not checkpointable" in result.errors[0]["error"]
+
+
+def drain_service(service):
+    return asyncio.run(service.run())
+
+
+class TestServeDriver:
+    def make_service(self, **kwargs):
+        telemetry.reset()
+        defaults = dict(scenario="figure3_fastflex", seed=5,
+                        duration_s=4.0, step_events=400)
+        defaults.update(kwargs)
+        return EngineService(**defaults)
+
+    def test_scenarios_registered(self):
+        assert set(SCENARIOS) == {"figure3_fastflex",
+                                  "figure3_baseline"}
+
+    def test_batch_run_produces_result(self):
+        service = self.make_service()
+        result = drain_service(service)
+        assert result is not None
+        assert service.world.done
+
+    def test_stream_carries_heartbeats_and_trace(self):
+        stream = io.StringIO()
+        service = self.make_service(stream=stream)
+        drain_service(service)
+        records = [json.loads(line) for line in
+                   stream.getvalue().splitlines()]
+        kinds = {record["kind"] for record in records}
+        assert "service_heartbeat" in kinds
+        assert "service_end" in kinds
+        assert "experiment_start" in kinds  # EventTrace schema records
+        heartbeats = [r for r in records
+                      if r["kind"] == "service_heartbeat"]
+        assert heartbeats[-1]["sim_time"] == pytest.approx(4.0)
+
+    def test_live_injections_without_restart(self):
+        stream = io.StringIO()
+        service = self.make_service(stream=stream)
+        service.submit({"op": "status"})
+        service.submit({"op": "attach-attack", "start_delay": 0.5})
+        service.submit({"op": "fail-link", "src": "s3", "dst": "s4"})
+        drain_service(service)
+        acks = [json.loads(line) for line in
+                stream.getvalue().splitlines()
+                if '"service_ack"' in line]
+        assert [a["ok"] for a in acks] == [True, True, True]
+        assert service.world.attacker is not None
+        assert ("s3", "s4") not in service.world.net.topo.links
+
+    def test_detach_attack_round_trip(self):
+        service = self.make_service()
+        service.submit({"op": "attach-attack", "start_delay": 0.1})
+        service.submit({"op": "detach-attack"})
+        drain_service(service)
+        assert service.world.attacker is None
+
+    def test_unknown_op_rejected_without_crash(self):
+        stream = io.StringIO()
+        service = self.make_service(stream=stream)
+        service.submit({"op": "definitely-not-an-op"})
+        drain_service(service)
+        acks = [json.loads(line) for line in
+                stream.getvalue().splitlines()
+                if '"service_ack"' in line]
+        assert acks[0]["ok"] is False
+        assert "unknown op" in acks[0]["error"]
+
+    def test_stop_checkpoints_and_halts(self, tmp_path):
+        service = self.make_service(checkpoint_dir=tmp_path)
+        service.submit({"op": "stop"})
+        result = drain_service(service)
+        assert result is None
+        assert service.stopped
+        assert list(tmp_path.glob("ckpt_*.ckpt"))
+
+    def test_auto_checkpoint_and_service_restore(self, tmp_path):
+        # Reference: the same service scenario, never interrupted.
+        reference = drain_service(self.make_service())
+        reference_metrics = stable_metrics(
+            telemetry.metrics().snapshot())
+
+        service = self.make_service(checkpoint_dir=tmp_path,
+                                    checkpoint_every_events=1000)
+        service.submit({"op": "stop"})
+        drain_service(service)  # parks a checkpoint and halts
+
+        poison_process_state()
+        newest = sorted(tmp_path.glob("ckpt_*.ckpt"))[-1]
+        resumed = EngineService.from_checkpoint(newest, step_events=400)
+        assert resumed.scenario == "figure3_fastflex"
+        result = drain_service(resumed)
+        assert result is not None
+        assert result.throughput.samples == \
+            reference.throughput.samples
+        assert stable_metrics(telemetry.metrics().snapshot()) == \
+            reference_metrics
+
+    def test_from_checkpoint_rejects_worldless(self, tmp_path):
+        telemetry.reset()
+        sim = Simulator(seed=1)
+        path = tmp_path / "bare.ckpt"
+        sim.snapshot(path)
+        with pytest.raises(CheckpointError, match="world"):
+            EngineService.from_checkpoint(path)

@@ -1,0 +1,135 @@
+"""The on-disk checkpoint container: versioning, fingerprinting,
+corruption rejection.
+
+Every failure mode must raise :class:`CheckpointError` *before* any
+payload unpickling happens — a corrupted or truncated checkpoint is
+rejected, never silently restored.
+"""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (CheckpointError, FORMAT_VERSION,
+                              load_checkpoint, peek_checkpoint,
+                              save_checkpoint)
+from repro.checkpoint.format import (MAGIC, read_container, read_header,
+                                     write_container)
+
+
+def write_simple(tmp_path, meta=None):
+    path = tmp_path / "simple.ckpt"
+    save_checkpoint(path, {"answer": 42, "items": [1, 2, 3]},
+                    meta=meta or {"label": "simple"})
+    return path
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = write_simple(tmp_path)
+        state, meta = load_checkpoint(path)
+        assert state == {"answer": 42, "items": [1, 2, 3]}
+        assert meta["label"] == "simple"
+
+    def test_header_is_one_json_line(self, tmp_path):
+        path = write_simple(tmp_path)
+        first_line = path.read_bytes().split(b"\n", 1)[0]
+        header = json.loads(first_line)
+        assert header["magic"] == MAGIC
+        assert header["version"] == FORMAT_VERSION
+        assert header["fingerprint"].startswith("sha256:")
+
+    def test_peek_reads_meta_without_payload(self, tmp_path):
+        path = write_simple(tmp_path, meta={"sim_time": 1.5})
+        header = peek_checkpoint(path)
+        assert header["meta"]["sim_time"] == 1.5
+
+    def test_fingerprint_returned_matches_header(self, tmp_path):
+        path = tmp_path / "fp.ckpt"
+        fingerprint = save_checkpoint(path, {"x": 1})
+        assert peek_checkpoint(path)["fingerprint"] == fingerprint
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        write_simple(tmp_path)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "random.ckpt"
+        path.write_bytes(b"this is not a checkpoint at all\n")
+        with pytest.raises(CheckpointError, match="magic|JSON"):
+            load_checkpoint(path)
+
+    def test_binary_garbage_without_newline(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"\x80\x04\x95" * 1000)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "magic.ckpt"
+        header = {"magic": "other-format", "version": 1,
+                  "globals_bytes": 0, "state_bytes": 0,
+                  "fingerprint": "sha256:0"}
+        path.write_bytes((json.dumps(header) + "\n").encode())
+        with pytest.raises(CheckpointError, match="magic"):
+            read_header(path)
+
+    def test_future_version_refused(self, tmp_path):
+        path = write_simple(tmp_path)
+        raw = path.read_bytes()
+        header_line, payload = raw.split(b"\n", 1)
+        header = json.loads(header_line)
+        header["version"] = FORMAT_VERSION + 1
+        path.write_bytes(json.dumps(header).encode() + b"\n" + payload)
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = write_simple(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-20])  # crash mid-write simulation
+        with pytest.raises(CheckpointError, match="truncat"):
+            load_checkpoint(path)
+
+    def test_single_flipped_byte_detected(self, tmp_path):
+        path = write_simple(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-10] ^= 0xFF  # bit rot deep inside the state segment
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            load_checkpoint(path)
+
+    def test_trailing_garbage_detected(self, tmp_path):
+        path = write_simple(tmp_path)
+        with open(path, "ab") as fh:
+            fh.write(b"EXTRA")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_header_missing_field(self, tmp_path):
+        path = tmp_path / "partial.ckpt"
+        header = {"magic": MAGIC, "version": FORMAT_VERSION,
+                  "globals_bytes": 0}
+        path.write_bytes((json.dumps(header) + "\n").encode())
+        with pytest.raises(CheckpointError, match="state_bytes"):
+            read_header(path)
+
+    def test_corruption_rejected_before_unpickle(self, tmp_path):
+        # The state segment is arbitrary pickle; a fingerprint failure
+        # must surface before pickle ever sees the bytes.  Plant a
+        # pickle bomb marker that would raise if unpickled.
+        path = tmp_path / "bomb.ckpt"
+        globals_blob = b"\x00" * 32
+        state_blob = b"\x00" * 64
+        write_container(path, globals_blob, state_blob, {})
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            read_container(path)

@@ -1,0 +1,154 @@
+"""scripts/check_bench.py — the benchmark CI gate.
+
+The regression this file pins: the gate's default BENCH paths are the
+*committed* repo-root files, so a CI pipeline whose benchmark step
+silently failed would pass against stale checked-in data.  With
+``--newer-than MARKER`` every required BENCH file must be strictly
+newer than the marker, and a missing or stale one is a *named hard
+failure* with its own exit code (2), distinct from a genuine speedup
+regression (1).
+"""
+
+import importlib.util
+import json
+import os
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / \
+    "check_bench.py"
+
+
+def load_script():
+    spec = importlib.util.spec_from_file_location("check_bench", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def good_fluid():
+    return {"speedup": 5.0, "steady_state_update_ms": 0.1,
+            "telemetry": {"fluid_allocation_passes_total": 1,
+                          "fluid_fastpath_hits_total": 10}}
+
+
+def good_routing():
+    return {"speedup": 5.0, "cached_ms": 0.2,
+            "telemetry": {"routing_cache_hits_total:yen": 3}}
+
+
+def good_dataplane():
+    return {"structures": {"composite_speedup": 20.0},
+            "pipeline": {"speedup": 8.0, "batch_pps": 1e6},
+            "telemetry": {"dataplane_batch_packets_total": 1000,
+                          "dataplane_batch_fallback_packets_total": 0}}
+
+
+def write_benches(tmp_path):
+    fluid = tmp_path / "BENCH_fluid.json"
+    routing = tmp_path / "BENCH_routing.json"
+    dataplane = tmp_path / "BENCH_dataplane.json"
+    fluid.write_text(json.dumps(good_fluid()))
+    routing.write_text(json.dumps(good_routing()))
+    dataplane.write_text(json.dumps(good_dataplane()))
+    return fluid, routing, dataplane
+
+
+def gate_args(fluid, routing, dataplane, *extra):
+    return [str(fluid), "--routing-bench", str(routing),
+            "--dataplane-bench", str(dataplane)] + list(extra)
+
+
+def set_mtime(path, when):
+    os.utime(path, (when, when))
+
+
+class TestFreshness:
+    def test_fresh_files_pass(self, tmp_path):
+        marker = tmp_path / "marker"
+        marker.touch()
+        set_mtime(marker, 1_000_000.0)
+        fluid, routing, dataplane = write_benches(tmp_path)
+        for bench in (fluid, routing, dataplane):
+            set_mtime(bench, 1_000_100.0)
+        assert load_script().main(gate_args(
+            fluid, routing, dataplane, "--newer-than", str(marker))) == 0
+
+    def test_missing_required_file_is_named_hard_failure(
+            self, tmp_path, capsys):
+        marker = tmp_path / "marker"
+        marker.touch()
+        fluid, routing, dataplane = write_benches(tmp_path)
+        dataplane.unlink()  # the benchmark "never ran"
+        script = load_script()
+        rc = script.main(gate_args(
+            fluid, routing, dataplane, "--newer-than", str(marker)))
+        assert rc == script.EXIT_STALE == 2
+        err = capsys.readouterr().err
+        assert "BENCH_dataplane.json" in err
+        assert "missing" in err
+        assert "did not run" in err
+
+    def test_stale_file_is_named_hard_failure(self, tmp_path, capsys):
+        marker = tmp_path / "marker"
+        marker.touch()
+        set_mtime(marker, 1_000_000.0)
+        fluid, routing, dataplane = write_benches(tmp_path)
+        set_mtime(fluid, 999_000.0)  # older than the marker: stale
+        set_mtime(routing, 1_000_100.0)
+        set_mtime(dataplane, 1_000_100.0)
+        script = load_script()
+        rc = script.main(gate_args(
+            fluid, routing, dataplane, "--newer-than", str(marker)))
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "STALE" in err
+        assert "BENCH_fluid.json" in err
+        assert "checked-in data" in err
+
+    def test_missing_marker_is_operational_error(self, tmp_path, capsys):
+        fluid, routing, dataplane = write_benches(tmp_path)
+        rc = load_script().main(gate_args(
+            fluid, routing, dataplane,
+            "--newer-than", str(tmp_path / "never_touched")))
+        assert rc == 2
+        assert "marker" in capsys.readouterr().err
+
+    def test_stale_beats_regression_exit_code(self, tmp_path):
+        # A stale file AND a regression: exit 2 wins — there is no
+        # point reporting a regression measured from data that this
+        # run never produced.
+        marker = tmp_path / "marker"
+        marker.touch()
+        set_mtime(marker, 1_000_000.0)
+        fluid, routing, dataplane = write_benches(tmp_path)
+        bad = good_fluid()
+        bad["speedup"] = 0.1
+        fluid.write_text(json.dumps(bad))
+        set_mtime(fluid, 999_000.0)
+        set_mtime(routing, 1_000_100.0)
+        set_mtime(dataplane, 1_000_100.0)
+        assert load_script().main(gate_args(
+            fluid, routing, dataplane, "--newer-than", str(marker))) == 2
+
+
+class TestRegressionGates:
+    def test_all_good_passes_without_marker(self, tmp_path):
+        fluid, routing, dataplane = write_benches(tmp_path)
+        assert load_script().main(
+            gate_args(fluid, routing, dataplane)) == 0
+
+    def test_speedup_regression_exits_one(self, tmp_path):
+        fluid, routing, dataplane = write_benches(tmp_path)
+        bad = good_routing()
+        bad["speedup"] = 1.1
+        routing.write_text(json.dumps(bad))
+        assert load_script().main(
+            gate_args(fluid, routing, dataplane)) == 1
+
+    def test_absent_file_without_marker_still_fails(self, tmp_path):
+        # Even without the freshness marker, a named missing file is a
+        # failure (exit 1) — never a silent pass.
+        fluid, routing, dataplane = write_benches(tmp_path)
+        fluid.unlink()
+        assert load_script().main(
+            gate_args(fluid, routing, dataplane)) == 1

@@ -1,0 +1,57 @@
+"""scripts/check_coverage.py — the coverage-floor CI gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / \
+    "check_coverage.py"
+BASELINE = Path(__file__).resolve().parents[2] / \
+    "coverage_baseline.json"
+
+
+def load_script():
+    spec = importlib.util.spec_from_file_location("check_coverage",
+                                                  SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_report(tmp_path, percent):
+    report = tmp_path / "coverage.json"
+    report.write_text(json.dumps(
+        {"totals": {"percent_covered": percent}}))
+    return report
+
+
+class TestFloor:
+    def test_above_floor_passes(self, tmp_path):
+        report = write_report(tmp_path, 99.0)
+        assert load_script().main(
+            [str(report), "--min-percent", "60"]) == 0
+
+    def test_below_floor_fails(self, tmp_path, capsys):
+        report = write_report(tmp_path, 12.5)
+        assert load_script().main(
+            [str(report), "--min-percent", "60"]) == 1
+        assert "12.50%" in capsys.readouterr().err
+
+    def test_missing_report_is_operational_error(self, tmp_path):
+        assert load_script().main(
+            [str(tmp_path / "nope.json"), "--min-percent", "60"]) == 2
+
+    def test_malformed_report_is_operational_error(self, tmp_path):
+        report = tmp_path / "coverage.json"
+        report.write_text("{}")
+        assert load_script().main(
+            [str(report), "--min-percent", "60"]) == 2
+
+    def test_committed_baseline_is_loadable(self, tmp_path):
+        # The default baseline file must parse and carry the floor the
+        # CI job will enforce.
+        floor = load_script().load_floor(BASELINE)
+        assert 0.0 < floor <= 100.0
+        report = write_report(tmp_path, floor + 1.0)
+        assert load_script().main(
+            [str(report), "--baseline", str(BASELINE)]) == 0
