@@ -1,24 +1,28 @@
 #!/usr/bin/env python3
-"""Gate CI on the fluid-allocator, routing-cache, and data-plane benches.
+"""Gate CI on the fluid, routing, data-plane, and shard-scaling benches.
 
 Reads freshly generated ``BENCH_fluid.json`` (written by
 ``benchmarks/test_microbench_fluid.py``), ``BENCH_routing.json``
-(written by ``benchmarks/test_microbench_routing.py``), and
+(written by ``benchmarks/test_microbench_routing.py``),
 ``BENCH_dataplane.json`` (written by
-``benchmarks/test_microbench_dataplane.py``) and fails if any optimized
-path's speedup over its reference implementation fell below the floor,
-or if a fast path stopped being a fast path (steady epochs
+``benchmarks/test_microbench_dataplane.py``), and ``BENCH_shard.json``
+(written by ``benchmarks/test_microbench_shard.py``) and fails if any
+optimized path's speedup over its reference implementation fell below
+the floor, or if a fast path stopped being a fast path (steady epochs
 reallocating, TE passes never hitting the candidate memo, the batch
-engine silently falling back to per-packet processing).
+engine silently falling back to per-packet processing, the sharded
+coordinator losing its 1->8 region scaling).
 
 Usage::
 
     python scripts/check_bench.py [--min-speedup 2.0] \
         [--min-routing-speedup 2.0] [--min-dataplane-speedup 4.0] \
+        [--min-shard-scaling 2.0] \
         [--newer-than .bench_marker] \
         [path/to/BENCH_fluid.json] \
         [--routing-bench path/to/BENCH_routing.json] \
-        [--dataplane-bench path/to/BENCH_dataplane.json]
+        [--dataplane-bench path/to/BENCH_dataplane.json] \
+        [--shard-bench path/to/BENCH_shard.json]
 
 Exit codes: 0 all gates pass, 1 a speedup/telemetry gate failed, 2 a
 required BENCH file is missing or stale (``--newer-than``) — i.e. the
@@ -50,6 +54,7 @@ DEFAULT_BENCH = REPO_ROOT / "BENCH_fluid.json"
 EXIT_STALE = 2
 DEFAULT_ROUTING_BENCH = REPO_ROOT / "BENCH_routing.json"
 DEFAULT_DATAPLANE_BENCH = REPO_ROOT / "BENCH_dataplane.json"
+DEFAULT_SHARD_BENCH = REPO_ROOT / "BENCH_shard.json"
 #: The structure-kernel floor is fixed, not a flag: ISSUE 6 acceptance
 #: pins it at 10x and CI noise barely moves pure-Python fold timings.
 DATAPLANE_STRUCTURE_FLOOR = 10.0
@@ -171,6 +176,29 @@ def check_dataplane(path, min_speedup):
     return None
 
 
+def check_shard(path, min_scaling):
+    try:
+        record = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return f"{path} not found - did the shard benchmark run?"
+    except ValueError as exc:
+        return f"{path} is not valid JSON: {exc}"
+
+    scaling = record.get("scaling")
+    if not isinstance(scaling, (int, float)):
+        return f"{path} has no numeric 'scaling' field"
+    if scaling < min_scaling:
+        return (f"sharded 1->8 region scaling regressed: {scaling:.2f}x "
+                f"< {min_scaling:.1f}x floor")
+
+    workers = record.get("workers", {})
+    passes_8 = workers.get("8", {}).get("allocation_passes")
+    if passes_8 is not None and passes_8 < 1:
+        return ("8-region run made zero allocation passes - the bench "
+                "measured coordinator overhead, not sharded allocation")
+    return None
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("bench", nargs="?", default=str(DEFAULT_BENCH),
@@ -190,6 +218,12 @@ def main(argv=None):
     parser.add_argument("--min-dataplane-speedup", type=float, default=4.0,
                         help="minimum acceptable batch-pipeline speedup "
                              "(default: 4.0; target 10.0)")
+    parser.add_argument("--shard-bench",
+                        default=str(DEFAULT_SHARD_BENCH),
+                        help="path to BENCH_shard.json")
+    parser.add_argument("--min-shard-scaling", type=float, default=3.0,
+                        help="minimum acceptable sharded 1->8 region "
+                             "scaling (default: 3.0; CI floor 2.0)")
     parser.add_argument("--newer-than", metavar="MARKER", default=None,
                         help="require every BENCH file to be strictly "
                              "newer than this marker file (exit 2 when "
@@ -200,7 +234,7 @@ def main(argv=None):
     if args.newer_than is not None:
         stale = False
         for bench_path in (args.bench, args.routing_bench,
-                           args.dataplane_bench):
+                           args.dataplane_bench, args.shard_bench):
             error = freshness_error(bench_path, args.newer_than)
             if error:
                 print(f"check_bench: STALE: {error}", file=sys.stderr)
@@ -243,6 +277,17 @@ def main(argv=None):
               f"{pipeline['speedup']:.2f}x (floor "
               f"{args.min_dataplane_speedup:.1f}x), batch path "
               f"{pipeline.get('batch_pps', '?')} pps")
+
+    error = check_shard(args.shard_bench, args.min_shard_scaling)
+    if error:
+        print(f"check_bench: FAIL: {error}", file=sys.stderr)
+        failed = True
+    else:
+        record = json.loads(Path(args.shard_bench).read_text())
+        print(f"check_bench: OK: shard scaling {record['scaling']:.2f}x "
+              f"(floor {args.min_shard_scaling:.1f}x), speedup vs single "
+              f"engine {record.get('speedup', '?')}x on "
+              f"{record.get('cpu_count', '?')} cpu(s)")
 
     return 1 if failed else 0
 

@@ -18,13 +18,14 @@ checkpoint captures, the fingerprint scheme, and what invalidates one.
 """
 
 from .core import (GLOBAL_SEQUENCES, capture_globals, load_checkpoint,
-                   peek_checkpoint, restore_globals, save_checkpoint)
+                   pack_state, peek_checkpoint, restore_globals,
+                   save_checkpoint, unpack_state)
 from .format import FORMAT_VERSION, CheckpointError
 from .pickler import CheckpointPickler, CheckpointUnpickler
 
 __all__ = [
     "CheckpointError", "CheckpointPickler", "CheckpointUnpickler",
     "FORMAT_VERSION", "GLOBAL_SEQUENCES", "capture_globals",
-    "load_checkpoint", "peek_checkpoint", "restore_globals",
-    "save_checkpoint",
+    "load_checkpoint", "pack_state", "peek_checkpoint", "restore_globals",
+    "save_checkpoint", "unpack_state",
 ]

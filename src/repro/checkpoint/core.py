@@ -110,6 +110,28 @@ def save_checkpoint(path: PathLike, state: Any,
     return write_container(path, globals_blob, state_blob, dict(meta or {}))
 
 
+def pack_state(state: Any) -> bytes:
+    """Serialize ``state`` plus the process-global bundle into one
+    in-memory blob — the wire format the sharded coordinator uses to
+    ship region worlds to pool workers (``save_checkpoint`` minus the
+    file container).  Packing mutates nothing.
+    """
+    import pickle
+    return pickle.dumps((dump_state(capture_globals()), dump_state(state)),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_state(blob: bytes) -> Any:
+    """Invert :func:`pack_state`: restore the globals bundle into this
+    process (telemetry registry, trace, ID sequences), then unpickle and
+    return the state graph.
+    """
+    import pickle
+    globals_blob, state_blob = pickle.loads(blob)
+    restore_globals(load_state(globals_blob))
+    return load_state(state_blob)
+
+
 def peek_checkpoint(path: PathLike) -> Dict[str, Any]:
     """The header of a checkpoint (cheap: no payload read, no unpickle)."""
     return read_header(path)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import io
 import pickle
+import sys
 from typing import Any, Dict, Tuple
 
 from .. import telemetry
@@ -116,19 +117,34 @@ class CheckpointUnpickler(pickle.Unpickler):
         raise CheckpointError(f"unknown persistent id {pid!r}")
 
 
+#: Recursion headroom while pickling.  A simulation state is a deeply
+#: linked object graph — a 1000-switch topology chains nodes -> links ->
+#: nodes far past the interpreter's default limit of 1000 frames, and
+#: the pickler walks it depth-first.  Scaled worlds (sharded regions,
+#: large sweeps) need the larger bound; it is restored on exit so the
+#: rest of the process keeps its normal guard.
+_PICKLE_RECURSION_LIMIT = 100_000
+
+
 def dump_state(state: Any) -> bytes:
     """Pickle ``state`` with telemetry-by-reference semantics."""
     buffer = io.BytesIO()
+    previous_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous_limit, _PICKLE_RECURSION_LIMIT))
     try:
         CheckpointPickler(buffer).dump(state)
     except (pickle.PicklingError, AttributeError, TypeError) as exc:
         raise CheckpointError(
             f"simulation state is not checkpointable: {exc}") from exc
+    finally:
+        sys.setrecursionlimit(previous_limit)
     return buffer.getvalue()
 
 
 def load_state(blob: bytes) -> Any:
     """Unpickle a state segment produced by :func:`dump_state`."""
+    previous_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous_limit, _PICKLE_RECURSION_LIMIT))
     try:
         return CheckpointUnpickler(io.BytesIO(blob)).load()
     except CheckpointError:
@@ -136,3 +152,5 @@ def load_state(blob: bytes) -> Any:
     except Exception as exc:  # pickle raises a zoo of types on bad input
         raise CheckpointError(
             f"cannot unpickle checkpoint state: {exc}") from exc
+    finally:
+        sys.setrecursionlimit(previous_limit)

@@ -215,6 +215,42 @@ class Simulator:
                 self._now = until
         return self._now
 
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest live (non-cancelled) queued event,
+        or ``None`` when the queue is effectively empty.  The sharded
+        coordinator uses it to assert the conservative-window invariant:
+        after a region runs a window to ``t_end``, no live local event
+        may remain at or before ``t_end``."""
+        return min((e.time for e in self._queue
+                    if not e.handle.cancelled), default=None)
+
+    def run_windows(self, until: float, window: float,
+                    on_window: Optional[Callable[["Simulator", float], None]]
+                    = None) -> float:
+        """Run to ``until`` in fixed-size window slices.
+
+        Equivalent to ``run(until=until)`` — window boundaries execute
+        no events of their own, so slicing is observationally free — but
+        hands control back every ``window`` seconds of simulated time,
+        which is where the sharded coordinator exchanges boundary state
+        and where serve-mode drivers take checkpoints.  ``on_window`` is
+        called as ``on_window(sim, boundary)`` after each slice,
+        including the final one at ``until``.
+        """
+        if window <= 0:
+            raise SimulationError(
+                f"window must be positive, got {window}")
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run to t={until} before now={self._now}")
+        boundary = self._now
+        while boundary < until:
+            boundary = min(boundary + window, until)
+            self.run(until=boundary)
+            if on_window is not None:
+                on_window(self, boundary)
+        return self._now
+
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False when idle."""
         while self._queue:

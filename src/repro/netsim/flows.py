@@ -31,7 +31,7 @@ _flow_ids = itertools.count(1)
 #: (see DESIGN.md, "Incremental fluid allocator").
 _ALLOC_FIELDS = frozenset({
     "demand_bps", "weight", "elastic", "police_rate_bps", "path",
-    "start_time", "end_time",
+    "start_time", "end_time", "pinned_rate_bps",
 })
 
 
@@ -58,6 +58,12 @@ class Flow:
     #: Rate cap imposed by a packet-dropping/rate-limiting booster;
     #: ``None`` means unpoliced.
     police_rate_bps: Optional[float] = None
+    #: Boundary-condition cap imposed by the sharded coordinator: the
+    #: rate this flow was granted elsewhere (its other regions, or the
+    #: global plan).  ``None`` means unpinned.  Like policing it caps
+    #: :attr:`effective_demand_bps`, so both allocators honor it without
+    #: special cases (see DESIGN.md, "Sharded simulation").
+    pinned_rate_bps: Optional[float] = None
     flow_id: int = field(default_factory=lambda: next(_flow_ids))
     # --- filled in by the fluid allocator ---
     rate_bps: float = 0.0       # smoothed sending rate
@@ -102,10 +108,13 @@ class Flow:
 
     @property
     def effective_demand_bps(self) -> float:
-        """Demand after policing — what the allocator may grant."""
-        if self.police_rate_bps is None:
-            return self.demand_bps
-        return min(self.demand_bps, self.police_rate_bps)
+        """Demand after policing and pinning — what may be granted."""
+        demand = self.demand_bps
+        if self.police_rate_bps is not None:
+            demand = min(demand, self.police_rate_bps)
+        if self.pinned_rate_bps is not None:
+            demand = min(demand, self.pinned_rate_bps)
+        return demand
 
     @property
     def src(self) -> str:

@@ -392,6 +392,15 @@ class FluidNetwork:
         self.last_result: Optional[AllocationResult] = None
         self._process: Optional[PeriodicProcess] = None
         self._last_update: Optional[float] = None
+        #: Sharded-mode boundary conditions (see ``repro.shard``): when a
+        #: flow id appears in :attr:`rate_pins`, its smoothing target is
+        #: the pinned rate instead of this network's allocation; entries
+        #: in :attr:`loss_pins` are per-link loss factors applied to the
+        #: flow's survival in path order.  Both dicts are empty outside
+        #: sharded runs, and every float operation on the normal path is
+        #: unchanged when they are empty.
+        self.rate_pins: Dict[int, float] = {}
+        self.loss_pins: Dict[int, Tuple[float, ...]] = {}
         #: Observers called after every update with (now, result).
         self.on_update: list = []
         #: Number of epochs processed (allocation passes + reuses).
@@ -470,7 +479,10 @@ class FluidNetwork:
                 flow.goodput_bps = 0.0
                 flow.loss_rate = 1.0
                 continue
-            target = result.rates.get(flow.flow_id, 0.0)
+            pinned_target = (self.rate_pins.get(flow.flow_id)
+                             if self.rate_pins else None)
+            target = (pinned_target if pinned_target is not None
+                      else result.rates.get(flow.flow_id, 0.0))
             if flow.elastic:
                 flow.rate_bps += (target - flow.rate_bps) * alpha
             else:
@@ -481,6 +493,11 @@ class FluidNetwork:
                 for key in links:
                     smoothed_load[key] += flow.rate_bps
                     survival *= 1.0 - link_loss.get(key, 0.0)
+            pinned_losses = (self.loss_pins.get(flow.flow_id)
+                             if self.loss_pins else None)
+            if pinned_losses is not None:
+                for loss in pinned_losses:
+                    survival *= 1.0 - loss
             flow.loss_rate = 1.0 - survival
             flow.goodput_bps = flow.rate_bps * survival
             flow.bytes_delivered += flow.goodput_bps * dt / 8.0

@@ -92,6 +92,11 @@ class Link:
         self.queue_bytes = queue_bytes
         self.stats = LinkStats()
         self.up = True
+        #: Set by :meth:`detach` when the link is removed from its
+        #: topology: in-flight deliveries and the serializer's
+        #: self-reschedule degrade to drops/no-ops instead of firing
+        #: against a node no longer in the topology.
+        self.detached = False
         #: Aggregate fluid-model data rate currently routed over this link,
         #: written by the fluid allocator on every update.
         self.fluid_load_bps = 0.0
@@ -177,11 +182,36 @@ class Link:
     def set_up(self) -> None:
         self.up = True
 
+    def detach(self) -> None:
+        """Take the link out of service permanently (its endpoint was
+        removed via ``Topology.remove_link``/``remove_node``).
+
+        Drops everything still queued, zeroes the published fluid load,
+        and guards the already-scheduled ``_deliver``/``_transmit_next``
+        events so they become drops/no-ops rather than touching the
+        removed node.
+        """
+        self.detached = True
+        self.up = False
+        for packet in self._queue:
+            packet.mark_dropped("link_removed")
+            _count_drop(packet, "link_removed")
+        self.stats.packets_dropped_down += len(self._queue)
+        self._queue.clear()
+        self._queued_bytes = 0
+        self._busy = False
+        self.fluid_load_bps = 0.0
+
     # ------------------------------------------------------------------
     # Packet-level transmission
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet for transmission.  Returns False on drop."""
+        if self.detached:
+            packet.mark_dropped("link_removed")
+            self.stats.packets_dropped_down += 1
+            _count_drop(packet, "link_removed")
+            return False
         if not self.up:
             packet.mark_dropped("link_down")
             self.stats.packets_dropped_down += 1
@@ -205,7 +235,7 @@ class Link:
         return True
 
     def _transmit_next(self) -> None:
-        if not self._queue:
+        if self.detached or not self._queue:
             self._busy = False
             return
         self._busy = True
@@ -221,6 +251,11 @@ class Link:
         self.sim.schedule(serialization, self._transmit_next)
 
     def _deliver(self, packet: Packet) -> None:
+        if self.detached:
+            packet.mark_dropped("link_removed")
+            self.stats.packets_dropped_down += 1
+            _count_drop(packet, "link_removed")
+            return
         if not self.up:
             packet.mark_dropped("link_down")
             self.stats.packets_dropped_down += 1
@@ -248,6 +283,12 @@ class Link:
         ``sizes``, when given, must be the parallel ``size_bytes``
         column for ``packets``; it only short-cuts the byte summation.
         """
+        if self.detached:
+            for packet in packets:
+                packet.mark_dropped("link_removed")
+                _count_drop(packet, "link_removed")
+            self.stats.packets_dropped_down += len(packets)
+            return 0
         if not self.up:
             for packet in packets:
                 packet.mark_dropped("link_down")
@@ -312,6 +353,12 @@ class Link:
         return len(accepted)
 
     def _deliver_batch(self, packets: list) -> None:
+        if self.detached:
+            for packet in packets:
+                packet.mark_dropped("link_removed")
+                _count_drop(packet, "link_removed")
+            self.stats.packets_dropped_down += len(packets)
+            return
         if not self.up:
             for packet in packets:
                 packet.mark_dropped("link_down")

@@ -615,7 +615,9 @@ class ProgrammableSwitch(Node):
             if on_complete is not None:
                 on_complete()
 
-        self.sim.schedule(duration_s, _finish)
+        # Node-owned so topology removal cancels the completion timer
+        # instead of leaving it to fire against a removed switch.
+        self.own(self.sim.schedule(duration_s, _finish))
 
     def handle_reconfig_notice(self, packet: Packet) -> None:
         """Process a neighbor's reconfiguration notice."""

@@ -116,22 +116,94 @@ class Topology:
             link = self.links.pop(key, None)
             if link is not None:
                 link.src.links.pop(link.dst.name, None)
+                link.detach()
                 removed = True
         if not removed:
             raise KeyError(f"no link {a}<->{b} in {self.name}")
         self._mark_mutated()
 
-    def remove_switch(self, name: str) -> None:
-        """Remove a switch and every link incident to it."""
-        switch = self.switch(name)  # type-checks the target
-        for neighbor in list(switch.neighbors):
+    def remove_node(self, name: str) -> None:
+        """Remove any node (switch or host) and every incident link.
+
+        Engine-scheduled work owned by the node (periodic agents,
+        traffic sources — anything registered via ``Node.own``) is
+        cancelled, and the removed links' in-flight deliveries degrade
+        to drops (``Link.detach``), so no dangling event fires against a
+        node that is no longer in :attr:`nodes`.
+        """
+        node = self.node(name)
+        for neighbor in list(node.links):
             self.remove_link(name, neighbor)
+        # Sweep one-directional leftovers still pointing at the node
+        # (e.g. a half-removed duplex pair or an external stitch).
+        for key in [k for k in self.links if name in k]:
+            link = self.links.pop(key)
+            link.src.links.pop(link.dst.name, None)
+            link.detach()
+        node.retire()
         del self.nodes[name]
         self._mark_mutated()
+
+    def remove_switch(self, name: str) -> None:
+        """Remove a node and every link incident to it.
+
+        Historical name — it now accepts *any* node, because hosts were
+        previously impossible to remove (the old implementation
+        type-checked the target as a switch while ``remove_link``
+        handled host links fine).  :meth:`remove_host` and
+        :meth:`remove_node` are equivalent spellings.
+        """
+        self.remove_node(name)
+
+    def remove_host(self, name: str) -> None:
+        """Remove a host and every link incident to it."""
+        self.remove_node(name)
 
     def _check_fresh(self, name: str) -> None:
         if name in self.nodes:
             raise ValueError(f"node {name!r} already exists in {self.name}")
+
+    # ------------------------------------------------------------------
+    # Sub-topology extraction (sharded simulation, see repro.shard)
+    # ------------------------------------------------------------------
+    def subtopology(self, node_names, sim: Optional[Simulator] = None,
+                    name: Optional[str] = None) -> "Topology":
+        """Extract the induced sub-topology on ``node_names``.
+
+        Builds a fresh :class:`Topology` (on ``sim``, defaulting to this
+        topology's simulator) containing copies of the named nodes and
+        every duplex link whose two endpoints are both included.
+        Switches are recreated with their resource budget and
+        programmability but *without* installed programs or routing
+        state; hosts keep their gateway only when the gateway is also
+        included.  Cut links (one endpoint outside the member set) are
+        not copied — the sharded layer stitches those with boundary
+        portals (see ``repro.shard.region``).
+        """
+        members = set(node_names)
+        missing = members - set(self.nodes)
+        if missing:
+            raise KeyError(
+                f"unknown nodes in subtopology: {sorted(missing)}")
+        sub = Topology(sim if sim is not None else self.sim,
+                       name=name if name is not None else f"{self.name}/sub")
+        for node_name in sorted(members):
+            node = self.nodes[node_name]
+            if isinstance(node, ProgrammableSwitch):
+                sub.add_switch(node_name, resources=node.ledger.budget,
+                               programmable=node.programmable)
+            elif isinstance(node, Host):
+                gateway = node.gateway if node.gateway in members else None
+                sub.add_host(node_name, gateway=gateway)
+            else:
+                raise TypeError(
+                    f"cannot extract {type(node).__name__} {node_name!r}")
+        for a, b in self.duplex_pairs():
+            if a in members and b in members:
+                link = self.links[(a, b)]
+                sub.add_duplex_link(a, b, link.capacity_bps, link.delay_s,
+                                    queue_bytes=link.queue_bytes)
+        return sub
 
     # ------------------------------------------------------------------
     # Lookup

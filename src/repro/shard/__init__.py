@@ -1,0 +1,33 @@
+"""Sharded region simulation with conservative boundary sync.
+
+Splits one simulation across region workers (see DESIGN.md "Sharded
+simulation"):
+
+* :mod:`repro.shard.partition` — METIS-style greedy edge-cut
+  partitioning of a :class:`~repro.netsim.topology.Topology` into
+  balanced regions with a symmetric boundary-link map.
+* :mod:`repro.shard.scenario` — declarative, JSON-serializable
+  workloads plus :func:`run_single`, the single-process reference every
+  determinism claim is stated against.
+* :mod:`repro.shard.region` — one :class:`RegionWorld` per region: a
+  normal simulator + per-shard fluid allocator over a sub-topology,
+  shipped to pool workers as checkpoint blobs.
+* :mod:`repro.shard.coordinator` — conservative time windows: simulate
+  to the window end, exchange boundary packets and granted rates at the
+  barrier, re-run the allocators with crossing flows pinned.
+
+``python -m repro shard --regions N --workers K`` drives it from the
+command line (:mod:`repro.shard.cli`).
+"""
+
+from .coordinator import plan_pins, run_sharded
+from .partition import Partition, partition_topology
+from .region import LinkSegment, PortalNode, RegionWorld, build_region
+from .scenario import (ShardScenario, figure3_scenario, random_scenario,
+                       run_single)
+
+__all__ = [
+    "LinkSegment", "Partition", "PortalNode", "RegionWorld",
+    "ShardScenario", "build_region", "figure3_scenario", "partition_topology",
+    "plan_pins", "random_scenario", "run_sharded", "run_single",
+]

@@ -1,0 +1,355 @@
+"""The sharded-run coordinator: conservative windows over region workers.
+
+:func:`run_sharded` partitions a :class:`ShardScenario`'s topology
+(:func:`repro.shard.partition.partition_topology`), builds one
+:class:`~repro.shard.region.RegionWorld` per region, and advances all
+regions in lockstep windows:
+
+1. every region simulates to the window end (pool workers or inline),
+2. barrier: boundary packets and (local mode) granted-rate reports are
+   exchanged,
+3. crossing flows are re-pinned to the cross-region consensus rate, and
+   packet arrivals are scheduled into their destination regions.
+
+The window length is bounded by the minimum boundary-link propagation
+delay whenever packets cross regions: a packet sent during a window
+cannot arrive before the window ends, so exchanging at the barrier never
+schedules into a region's past — the classic conservative-time
+guarantee (see DESIGN.md "Sharded simulation").
+
+Exact mode adds a coordinator-side **pin planner** (:func:`plan_pins`):
+a replica of the single engine's fluid epoch loop that runs only the
+allocator (no smoothing, no packet events) on the full topology and
+records, for every epoch where the engine would re-allocate, each flow's
+granted rate and per-link loss vector.  Regions replay those pins with
+byte-identical float arithmetic, which is what makes the sharded stable
+record equal to :func:`repro.shard.scenario.run_single`'s byte for byte.
+
+Region state moves as :func:`~repro.checkpoint.core.pack_state` blobs;
+``workers=1`` runs the same module-level task inline under globals
+isolation, so worker count never changes results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import telemetry
+from ..checkpoint import (capture_globals, pack_state, restore_globals,
+                          unpack_state)
+from ..netsim.engine import Simulator
+from ..netsim.fluid import max_min_allocate
+from ..sweep.runner import atomic_write_json, stable_metrics
+from ..telemetry import MetricsRegistry
+from .partition import partition_topology
+from .region import (BOUNDARY_HEADROOM, build_region, compute_paths,
+                     run_region_window)
+from .scenario import (ShardScenario, aggregate_samples, build_topology,
+                       build_world)
+
+#: Pin segments: (epoch_time, per-spec granted rates, per-spec loss
+#: tuples in path-link order).
+PinPlan = List[Tuple[float, List[float], List[Tuple[float, ...]]]]
+
+MANIFEST_NAME = "shard_manifest.json"
+PENDING_NAME = "shard_pending.pkl"
+
+
+def plan_pins(scenario: ShardScenario) -> Tuple[PinPlan, int, int]:
+    """Replay the single engine's fluid epoch loop, allocator only.
+
+    Returns ``(segments, updates, allocation_passes)``.  Every detail
+    the engine's dirty logic observes is replicated: the epoch grid is
+    the same float accumulation ``PeriodicProcess`` rescheduling
+    produces (``t = t + interval`` from 0.0); demand changes apply in
+    event-queue order (stable sort by time — build-time sequence
+    numbers preserve list order at equal times) *before* the epoch they
+    precede; a pass runs iff the first epoch, the flow-set version, or
+    the active-id set changed (the topology is static here).  A segment
+    is recorded only for pass epochs — between passes the engine reuses
+    the same ``AllocationResult``, so the pins stay valid verbatim.
+
+    Runs on a fresh :func:`build_world` world (it mutates demands).
+    """
+    _sim, topo, flows, flow_list = build_world(scenario)
+    pending = sorted(scenario.changes, key=lambda c: c.time_s)
+    segments: PinPlan = []
+    updates = 0
+    passes = 0
+    last_result = None
+    seen_topo = -1
+    seen_flows = -1
+    seen_active = None
+    applied = 0
+    t = 0.0
+    while t <= scenario.duration_s:
+        while applied < len(pending) and pending[applied].time_s <= t:
+            change = pending[applied]
+            flow_list[change.flow_index].demand_bps = change.demand_bps
+            applied += 1
+        updates += 1
+        active = flows.active(t)
+        active_ids = frozenset(f.flow_id for f in active)
+        if (last_result is None or topo.version != seen_topo
+                or flows.version != seen_flows
+                or active_ids != seen_active):
+            result = max_min_allocate(topo, active)
+            passes += 1
+            last_result = result
+            seen_topo = topo.version
+            seen_flows = flows.version
+            seen_active = active_ids
+            rates = [result.rates.get(f.flow_id, 0.0) for f in flow_list]
+            losses = []
+            for flow in flow_list:
+                links = flow.path_links()
+                losses.append(
+                    tuple(result.link_loss.get(key, 0.0) for key in links)
+                    if links is not None else ())
+            segments.append((t, rates, losses))
+        t = t + scenario.fluid_interval_s
+    return segments, updates, passes
+
+
+def _consensus_pins(reports: List[Dict[int, float]]
+                    ) -> Dict[int, Optional[float]]:
+    """Fold per-region granted rates into one pin per crossing flow:
+    the minimum any hosting region granted, plus growth headroom.  A
+    zero minimum unpins (an inactive or starved flow must be able to
+    start), letting demand cap the rate instead."""
+    min_granted: Dict[int, float] = {}
+    for report in reports:
+        for idx, rate in report.items():
+            if idx in min_granted:
+                if rate < min_granted[idx]:
+                    min_granted[idx] = rate
+            else:
+                min_granted[idx] = rate
+    pins: Dict[int, Optional[float]] = {}
+    for idx in sorted(min_granted):
+        value = min_granted[idx]
+        pins[idx] = (None if value <= 0.0
+                     else value * (1.0 + BOUNDARY_HEADROOM))
+    return pins
+
+
+def _write_blob(path: Path, blob: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+    os.replace(tmp, path)
+
+
+def _write_checkpoint(checkpoint_dir: Path, scenario: ShardScenario,
+                      n_regions: int, sync: str, workers: int,
+                      window_s: float, exchange_packets: bool,
+                      next_t: float, blobs: List[bytes],
+                      pending: List[Dict[str, Any]]) -> None:
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    blob_names = []
+    for index, blob in enumerate(blobs):
+        name = f"region_{index}.blob"
+        _write_blob(checkpoint_dir / name, blob)
+        blob_names.append(name)
+    with open(checkpoint_dir / (PENDING_NAME + ".tmp"), "wb") as fh:
+        fh.write(pickle.dumps(pending, protocol=pickle.HIGHEST_PROTOCOL))
+    os.replace(checkpoint_dir / (PENDING_NAME + ".tmp"),
+               checkpoint_dir / PENDING_NAME)
+    # Manifest last: readers treat its presence as "blobs are complete".
+    atomic_write_json(checkpoint_dir / MANIFEST_NAME, {
+        "scenario": scenario.to_dict(),
+        "n_regions": n_regions,
+        "sync": sync,
+        "workers": workers,
+        "window_s": window_s,
+        "exchange_packets": exchange_packets,
+        "next_t": next_t,
+        "blobs": blob_names,
+    })
+
+
+def _load_checkpoint(checkpoint_dir: Path, scenario: ShardScenario,
+                     n_regions: int, sync: str, exchange_packets: bool
+                     ) -> Optional[Tuple[float, List[bytes],
+                                         List[Dict[str, Any]]]]:
+    """The resumable state at ``checkpoint_dir``, iff its manifest
+    matches this exact run configuration; None otherwise."""
+    manifest_path = checkpoint_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        return None
+    manifest = json.loads(manifest_path.read_text())
+    if (manifest.get("scenario") != scenario.to_dict()
+            or manifest.get("n_regions") != n_regions
+            or manifest.get("sync") != sync
+            or manifest.get("exchange_packets") != exchange_packets):
+        raise ValueError(
+            f"checkpoint at {checkpoint_dir} was written by a different "
+            f"shard configuration; refusing to resume from it")
+    blobs = [(checkpoint_dir / name).read_bytes()
+             for name in manifest["blobs"]]
+    with open(checkpoint_dir / PENDING_NAME, "rb") as fh:
+        pending = pickle.load(fh)
+    return manifest["next_t"], blobs, pending
+
+
+def _empty_pending(n_regions: int) -> List[Dict[str, Any]]:
+    return [{"pins": {}, "packets": []} for _ in range(n_regions)]
+
+
+def run_sharded(scenario: ShardScenario, n_regions: int, workers: int = 1,
+                sync: str = "exact", window_s: Optional[float] = None,
+                checkpoint_dir: Optional[Any] = None, resume: bool = False,
+                exchange_packets: bool = False) -> Dict[str, Any]:
+    """Run ``scenario`` sharded into ``n_regions`` regions.
+
+    Returns the stable result record — in ``exact`` sync mode,
+    byte-identical (via ``json.dumps(..., sort_keys=True)``) to
+    :func:`repro.shard.scenario.run_single` on the same scenario, for
+    any ``n_regions`` and any ``workers``.
+    """
+    if sync not in ("exact", "local"):
+        raise ValueError(f"unknown sync mode {sync!r}")
+    if n_regions < 1:
+        raise ValueError(f"n_regions must be >= 1, got {n_regions}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    full = build_topology(scenario, Simulator(seed=scenario.seed))
+    partition = partition_topology(full, n_regions, seed=scenario.seed)
+
+    min_delay = partition.min_boundary_delay(full)
+    if window_s is None:
+        window_s = scenario.sample_period_s
+        if exchange_packets and min_delay is not None:
+            window_s = min(window_s, min_delay)
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    if exchange_packets and min_delay is not None and window_s > min_delay:
+        raise ValueError(
+            f"window_s={window_s} exceeds the minimum boundary-link "
+            f"delay {min_delay}: packets sent in a window could arrive "
+            f"before it ends, violating the conservative-sync contract. "
+            f"Shrink window_s to at most {min_delay}.")
+
+    pin_plan: Optional[PinPlan] = None
+    plan_updates = 0
+    plan_passes = 0
+    if sync == "exact":
+        pin_plan, plan_updates, plan_passes = plan_pins(scenario)
+
+    checkpoint_path = (Path(checkpoint_dir)
+                      if checkpoint_dir is not None else None)
+    resumed = None
+    if resume:
+        if checkpoint_path is None:
+            raise ValueError("resume=True needs a checkpoint_dir")
+        resumed = _load_checkpoint(checkpoint_path, scenario, n_regions,
+                                   sync, exchange_packets)
+
+    if resumed is not None:
+        t, blobs, pending = resumed
+    else:
+        t = 0.0
+        pending = _empty_pending(n_regions)
+        paths = compute_paths(full, scenario)
+        blobs = []
+        base = capture_globals()
+        try:
+            for index in range(n_regions):
+                telemetry.reset()
+                region = build_region(full, scenario, partition, index,
+                                      sync, paths, pin_plan=pin_plan,
+                                      exchange_packets=exchange_packets)
+                blobs.append(pack_state(region))
+        finally:
+            restore_globals(base)
+
+    pool = (ProcessPoolExecutor(max_workers=min(workers, n_regions))
+            if workers > 1 and n_regions > 1 else None)
+    try:
+        while t < scenario.duration_s:
+            t_end = min(t + window_s, scenario.duration_s)
+            payloads = [(blobs[index], t_end, pending[index])
+                        for index in range(n_regions)]
+            if pool is None:
+                base = capture_globals()
+                try:
+                    results = [run_region_window(payload)
+                               for payload in payloads]
+                finally:
+                    restore_globals(base)
+            else:
+                futures = [pool.submit(run_region_window, payload)
+                           for payload in payloads]
+                results = [future.result() for future in futures]
+            blobs = [result[0] for result in results]
+            reports = [result[2] for result in results]
+
+            # Barrier: route boundary packets, re-pin crossing flows.
+            pending = _empty_pending(n_regions)
+            for _blob, outbox, _report in results:
+                for arrival, node_name, packet in outbox:
+                    dest = partition.assignment[node_name]
+                    pending[dest]["packets"].append(
+                        (arrival, node_name, packet))
+            if sync == "local":
+                pins = _consensus_pins(reports)
+                for entry in pending:
+                    entry["pins"] = pins
+            t = t_end
+            if checkpoint_path is not None:
+                _write_checkpoint(checkpoint_path, scenario, n_regions,
+                                  sync, workers, window_s,
+                                  exchange_packets, t, blobs, pending)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    # Final collection: unpack each region under globals isolation, fold
+    # samplers and finals, merge per-region telemetry snapshots.
+    record_lists = []
+    finals: Dict[int, List[float]] = {}
+    snapshots = []
+    region_updates = 0
+    region_passes = 0
+    base = capture_globals()
+    try:
+        for blob in blobs:
+            telemetry.reset()
+            region = unpack_state(blob)
+            snapshots.append(telemetry.metrics().snapshot())
+            record_lists.append(region.sampler.records)
+            for idx, final in region.home_finals():
+                finals[idx] = final
+            region_updates = max(region_updates, region.fluid.updates)
+            region_passes += region.fluid.allocation_passes
+    finally:
+        restore_globals(base)
+    merged = MetricsRegistry().merge(*snapshots).snapshot()
+
+    missing = [idx for idx in range(len(scenario.flows))
+               if idx not in finals]
+    if missing:
+        raise RuntimeError(
+            f"flows {missing} were homed in no region - partition and "
+            f"region construction disagree")
+
+    return {
+        "mode": f"sharded-{sync}",
+        "seed": scenario.seed,
+        "samples": aggregate_samples(record_lists),
+        "flows": [finals[idx] for idx in range(len(scenario.flows))],
+        "updates": plan_updates if sync == "exact" else region_updates,
+        "allocation_passes": (plan_passes if sync == "exact"
+                              else region_passes),
+        "n_regions": n_regions,
+        "workers": workers,
+        "window_s": window_s,
+        "cut_edges": partition.cut_edges,
+        "merged_stable_metrics": stable_metrics(merged),
+    }

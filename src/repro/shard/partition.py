@@ -1,0 +1,216 @@
+"""METIS-style greedy edge-cut partitioning of a :class:`Topology`.
+
+The partitioner splits the switch graph into ``n_regions`` balanced,
+mostly-contiguous regions while greedily minimizing the number of cut
+(boundary) links — the same objective METIS optimizes, computed here
+with a deterministic multi-source BFS growth plus one
+Kernighan–Lin-style refinement sweep, so a few hundred switches
+partition in milliseconds without a native dependency.
+
+Determinism contract: given the same topology and ``seed``, the
+partition — assignments, region member order, boundary map — is
+byte-identical across runs, processes, and worker counts.  Every
+iteration below runs over sorted or insertion-ordered collections; the
+only randomness is one seed-derived :class:`random.Random` stream used
+to pick the first BFS source.
+
+Hosts are not partitioned independently: each host follows its gateway
+switch (its single uplink), so a host and its access link are always
+interior to one region and only switch-switch links can be cut.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.topology import Topology
+
+LinkKey = Tuple[str, str]
+
+
+@dataclass
+class Partition:
+    """The output of :func:`partition_topology`."""
+
+    n_regions: int
+    #: Every node name (switches *and* hosts) -> region index.
+    assignment: Dict[str, int]
+    #: Region index -> sorted member node names.
+    regions: List[List[str]] = field(default_factory=list)
+    #: Directed cut links -> (src region, dst region).  Symmetric by
+    #: construction: ``(a, b)`` is present iff ``(b, a)`` is.
+    boundary: Dict[LinkKey, Tuple[int, int]] = field(default_factory=dict)
+    #: Number of cut *physical* (duplex) links.
+    cut_edges: int = 0
+
+    def region_of(self, name: str) -> int:
+        return self.assignment[name]
+
+    def boundary_out(self, region: int) -> List[LinkKey]:
+        """Cut links leaving ``region``, sorted for determinism."""
+        return sorted(key for key, (src, _dst) in self.boundary.items()
+                      if src == region)
+
+    def min_boundary_delay(self, topo: Topology) -> Optional[float]:
+        """The global lower bound on boundary-link propagation delay —
+        the conservative window bound: a window no longer than this
+        cannot create a cross-region causality violation (see DESIGN.md
+        "Sharded simulation").  ``None`` when nothing is cut."""
+        delays = [topo.links[key].delay_s for key in sorted(self.boundary)]
+        return min(delays) if delays else None
+
+
+def _switch_adjacency(topo: Topology) -> Dict[str, List[str]]:
+    """Switch -> sorted neighbor switches (host links never count)."""
+    switches = set(topo.switch_names)
+    adjacency: Dict[str, List[str]] = {name: [] for name in topo.switch_names}
+    for a, b in topo.duplex_pairs():
+        if a in switches and b in switches:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+    for name in adjacency:
+        adjacency[name].sort()
+    return adjacency
+
+
+def _pick_sources(switches: List[str], adjacency: Dict[str, List[str]],
+                  n_regions: int, rng: random.Random) -> List[str]:
+    """One BFS source per region: a random first pick, then repeated
+    farthest-point selection (max hop distance from the chosen set,
+    ties broken by name) so sources spread across the graph."""
+    sources = [switches[rng.randrange(len(switches))]]
+    while len(sources) < n_regions:
+        dist = {name: None for name in switches}
+        queue = deque()
+        for src in sources:
+            dist[src] = 0
+            queue.append(src)
+        while queue:
+            current = queue.popleft()
+            for neighbor in adjacency[current]:
+                if dist[neighbor] is None:
+                    dist[neighbor] = dist[current] + 1
+                    queue.append(neighbor)
+        best = None
+        best_rank = None
+        for name in switches:
+            if name in sources:
+                continue
+            # Unreachable switches (disconnected components) rank as
+            # infinitely far, so each component gets a source first.
+            rank = (dist[name] if dist[name] is not None else float("inf"))
+            if best_rank is None or rank > best_rank \
+                    or (rank == best_rank and name < best):
+                best, best_rank = name, rank
+        sources.append(best)
+    return sources
+
+
+def _grow_regions(switches: List[str], adjacency: Dict[str, List[str]],
+                  sources: List[str]) -> Dict[str, int]:
+    """Balanced multi-source BFS: the smallest region expands next, so
+    region sizes stay within one node of each other whenever frontiers
+    allow it."""
+    assignment: Dict[str, int] = {}
+    frontiers: List[deque] = []
+    sizes = [0] * len(sources)
+    for region, src in enumerate(sources):
+        assignment[src] = region
+        sizes[region] = 1
+        frontiers.append(deque(adjacency[src]))
+    unassigned = [name for name in switches if name not in assignment]
+    while len(assignment) < len(switches):
+        region = min(range(len(sources)), key=lambda r: (sizes[r], r))
+        chosen = None
+        frontier = frontiers[region]
+        while frontier:
+            candidate = frontier.popleft()
+            if candidate not in assignment:
+                chosen = candidate
+                break
+        if chosen is None:
+            # Frontier exhausted (disconnected remainder): grab the
+            # smallest-named unassigned switch so coverage is total.
+            for name in unassigned:
+                if name not in assignment:
+                    chosen = name
+                    break
+        assignment[chosen] = region
+        sizes[region] += 1
+        frontier.extend(adjacency[chosen])
+    return assignment
+
+
+def _refine(switches: List[str], adjacency: Dict[str, List[str]],
+            assignment: Dict[str, int], n_regions: int) -> None:
+    """One KL-style sweep: move a switch to its neighbor-majority region
+    when that strictly reduces the edge cut without emptying or badly
+    unbalancing its current region."""
+    sizes = [0] * n_regions
+    for name in switches:
+        sizes[assignment[name]] += 1
+    floor = max(1, len(switches) // (2 * n_regions))
+    for name in switches:
+        current = assignment[name]
+        if sizes[current] <= floor:
+            continue
+        counts = [0] * n_regions
+        for neighbor in adjacency[name]:
+            counts[assignment[neighbor]] += 1
+        best = current
+        for region in range(n_regions):
+            if counts[region] > counts[best]:
+                best = region
+        if best != current and counts[best] > counts[current]:
+            assignment[name] = best
+            sizes[current] -= 1
+            sizes[best] += 1
+
+
+def partition_topology(topo: Topology, n_regions: int,
+                       seed: int = 0) -> Partition:
+    """Partition ``topo`` into ``n_regions`` regions (see module doc)."""
+    if n_regions < 1:
+        raise ValueError(f"n_regions must be >= 1, got {n_regions}")
+    switches = topo.switch_names
+    if not switches:
+        raise ValueError(f"topology {topo.name!r} has no switches")
+    if n_regions > len(switches):
+        raise ValueError(
+            f"cannot split {len(switches)} switches into {n_regions} "
+            f"regions")
+    adjacency = _switch_adjacency(topo)
+    # Seed-derived stream, never ``sim.rng`` (same policy as
+    # random_topology): partitioning must not perturb event tie-breaks.
+    rng = random.Random(f"partition:{seed}")
+    sources = _pick_sources(switches, adjacency, n_regions, rng)
+    assignment = _grow_regions(switches, adjacency, sources)
+    if n_regions > 1:
+        _refine(switches, adjacency, assignment, n_regions)
+
+    # Hosts follow their gateway switch.
+    for host_name in topo.host_names:
+        host = topo.nodes[host_name]
+        gateway = getattr(host, "gateway", None)
+        if gateway not in assignment:
+            neighbors = sorted(host.links)
+            gateway = neighbors[0] if neighbors else None
+        assignment[host_name] = assignment.get(gateway, 0)
+
+    regions: List[List[str]] = [[] for _ in range(n_regions)]
+    for name in sorted(assignment):
+        regions[assignment[name]].append(name)
+
+    boundary: Dict[LinkKey, Tuple[int, int]] = {}
+    for key in sorted(topo.links):
+        src_region = assignment[key[0]]
+        dst_region = assignment[key[1]]
+        if src_region != dst_region:
+            boundary[key] = (src_region, dst_region)
+    cut_edges = len({(a, b) if a < b else (b, a) for (a, b) in boundary})
+    return Partition(n_regions=n_regions, assignment=assignment,
+                     regions=regions, boundary=boundary,
+                     cut_edges=cut_edges)

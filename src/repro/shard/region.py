@@ -1,0 +1,370 @@
+"""Region workers: one :class:`RegionWorld` per partition region.
+
+A region runs an ordinary :class:`~repro.netsim.engine.Simulator` plus a
+per-shard :class:`~repro.netsim.fluid.FluidNetwork` over its slice of
+the topology (:meth:`Topology.subtopology`), advanced in conservative
+time windows by :mod:`repro.shard.coordinator`.  Two sync modes:
+
+``exact``
+    Flows homed in the region (source host assigned here) are created
+    **pathless**; their rates and per-link losses come from coordinator
+    pin segments (:attr:`FluidNetwork.rate_pins` / ``loss_pins``)
+    scheduled as build-time events.  The per-flow smoothing and
+    accounting then execute the same float operations, in the same
+    order, with the same inputs as the single-process engine — the basis
+    of the byte-identity contract (DESIGN.md "Sharded simulation").
+
+``local``
+    Every flow is replicated into each region its global path crosses,
+    with a :class:`LinkSegment` path holding only the region-local link
+    keys.  Each region runs its own allocator over its local links; the
+    coordinator reconciles crossing flows between windows by pinning
+    them (``Flow.pinned_rate_bps``) to the minimum rate any hosting
+    region granted, plus headroom so rates can re-grow.  Scalable but
+    approximate (boundary-link capacity is not itself allocated).
+
+Region state travels between the coordinator and pool workers as
+:func:`repro.checkpoint.core.pack_state` blobs; the module-level
+:func:`run_region_window` task is the unit of work a
+``ProcessPoolExecutor`` executes (and the coordinator calls it inline,
+under globals isolation, when ``workers == 1`` — byte-identical either
+way).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import telemetry
+from ..checkpoint import pack_state, unpack_state
+from ..netsim.engine import Simulator
+from ..netsim.flows import Flow, FlowSet, make_flow
+from ..netsim.fluid import FluidNetwork
+from ..netsim.links import Link
+from ..netsim.node import Node
+from ..netsim.packet import Packet
+from ..netsim.topology import Topology
+from .partition import Partition
+from .scenario import GoodputSampler, ShardScenario, build_topology
+
+LinkKey = Tuple[str, str]
+
+#: Multiplicative headroom on local-mode boundary pins: pinning a
+#: crossing flow to exactly its minimum granted rate would trap it there
+#: (each region would re-grant at most the pin), so the coordinator pins
+#: to ``min_granted * (1 + BOUNDARY_HEADROOM)`` and lets demand cap the
+#: rest.  0.25 converges within a few windows without oscillating.
+BOUNDARY_HEADROOM = 0.25
+
+
+class LinkSegment:
+    """A path stand-in holding only one region's share of a global path.
+
+    Quacks like :class:`repro.netsim.routing.Path` where the fluid
+    allocator is concerned (``link_keys`` attribute, ``links()``
+    method), but carries no node sequence — a crossing flow may traverse
+    a region in several disjoint runs and only the link charges matter.
+    """
+
+    __slots__ = ("src", "dst", "link_keys")
+
+    def __init__(self, src: str, dst: str, link_keys: Tuple[LinkKey, ...]):
+        self.src = src
+        self.dst = dst
+        self.link_keys = tuple(link_keys)
+
+    def links(self) -> List[LinkKey]:
+        return list(self.link_keys)
+
+    def __getstate__(self):
+        return (self.src, self.dst, self.link_keys)
+
+    def __setstate__(self, state):
+        self.src, self.dst, self.link_keys = state
+
+    def __repr__(self) -> str:
+        return (f"LinkSegment({self.src}->{self.dst}, "
+                f"{len(self.link_keys)} local links)")
+
+
+class PortalNode(Node):
+    """Stand-in for an external neighbor at a region's boundary.
+
+    Named after the real (out-of-region) node so switch forwarding
+    resolves unchanged; packets delivered to it are recorded in the
+    region outbox as ``(logical_arrival_time, portal_name, packet)``.
+    The attaching boundary link keeps its real capacity but zero
+    propagation delay, so delivery lands inside the sending window; the
+    true boundary delay is added here to form the logical arrival time.
+    Under the conservative-window contract (window <= min boundary
+    delay) that arrival time is never earlier than the window end, so
+    the coordinator can always schedule the injection in the receiving
+    region.
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 outbox: List[Tuple[float, str, Packet]]):
+        super().__init__(sim, name)
+        self.outbox = outbox
+        #: True propagation delay of the cut link, per in-region sender.
+        self.delays: Dict[str, float] = {}
+
+    def receive(self, packet: Packet,
+                from_link: Optional[Link] = None) -> None:
+        delay = (self.delays.get(from_link.src.name, 0.0)
+                 if from_link is not None else 0.0)
+        self.outbox.append((self.sim.now + delay, self.name, packet))
+
+
+def _set_demand(flow: Flow, demand_bps: float) -> None:
+    """Scheduled-event target for local-mode demand changes (module
+    level so region event queues stay checkpoint-picklable)."""
+    flow.demand_bps = demand_bps
+
+
+def _apply_pins(fluid: FluidNetwork, rates: Dict[int, float],
+                losses: Dict[int, Tuple[float, ...]]) -> None:
+    """Scheduled-event target installing one exact-mode pin segment.
+
+    Scheduled at build time (before ``fluid.start()``), so at a shared
+    timestamp the pins land before that epoch's fluid update — mirroring
+    how build-time demand events precede updates in the single engine.
+    """
+    fluid.rate_pins.update(rates)
+    fluid.loss_pins.update(losses)
+
+
+class RegionWorld:
+    """One region's simulator, sub-topology, fluid model, and flows."""
+
+    def __init__(self, region_index: int, sync: str, sim: Simulator,
+                 topo: Topology, flows: FlowSet,
+                 flow_by_spec: Dict[int, Flow], home_specs: List[int],
+                 crossing_specs: List[int], fluid: FluidNetwork,
+                 sampler: GoodputSampler,
+                 outbox: List[Tuple[float, str, Packet]],
+                 portals: Dict[str, PortalNode]):
+        self.region_index = region_index
+        self.sync = sync
+        self.sim = sim
+        self.topo = topo
+        self.flows = flows
+        #: Spec index -> this region's replica of that flow.
+        self.flow_by_spec = flow_by_spec
+        #: Spec indices homed here (source host in this region); only
+        #: the home region samples/report a flow's goodput, so nothing
+        #: is double-counted in local mode.
+        self.home_specs = home_specs
+        #: Spec indices of hosted flows whose global path crosses other
+        #: regions (subject to boundary-pin consensus in local mode).
+        self.crossing_specs = crossing_specs
+        self.fluid = fluid
+        self.sampler = sampler
+        self.outbox = outbox
+        self.portals = portals
+
+    # ------------------------------------------------------------------
+    def inject(self, payload: Optional[Dict[str, Any]]) -> None:
+        """Apply one barrier's worth of coordinator input: boundary pins
+        first (they affect the whole next window), then cross-region
+        packet arrivals."""
+        if not payload:
+            return
+        pins = payload.get("pins")
+        if pins:
+            self.set_boundary_pins(pins)
+        for arrival, node_name, packet in payload.get("packets", ()):
+            node = self.topo.nodes[node_name]
+            self.sim.schedule_at(arrival, node.receive, packet)
+
+    def run_window(self, t_end: float) -> None:
+        self.sim.run(until=t_end)
+
+    def drain_outbox(self) -> List[Tuple[float, str, Packet]]:
+        drained = list(self.outbox)
+        del self.outbox[:]
+        return drained
+
+    # ------------------------------------------------------------------
+    def boundary_report(self) -> Dict[int, float]:
+        """Rates this region's allocator granted to its crossing flows
+        in the last pass, keyed by spec index (local mode)."""
+        result = self.fluid.last_result
+        rates = result.rates if result is not None else {}
+        return {idx: rates.get(self.flow_by_spec[idx].flow_id, 0.0)
+                for idx in self.crossing_specs}
+
+    def set_boundary_pins(self, pins: Dict[int, Optional[float]]) -> None:
+        """Pin crossing flows to coordinator-consensus rates.  ``None``
+        unpins.  Assigning ``pinned_rate_bps`` bumps the flow-set
+        version, so the next fluid epoch re-runs the allocator with the
+        boundary flows pinned — the "re-run with pinned rates" step of
+        the conservative sync protocol."""
+        for idx in sorted(pins):
+            flow = self.flow_by_spec.get(idx)
+            if flow is not None:
+                flow.pinned_rate_bps = pins[idx]
+
+    # ------------------------------------------------------------------
+    def home_finals(self) -> List[Tuple[int, List[float]]]:
+        """Final per-flow observables for flows homed here, as
+        (spec_index, [rate, goodput, bytes, loss]) pairs."""
+        finals = []
+        for idx in self.home_specs:
+            flow = self.flow_by_spec[idx]
+            finals.append((idx, [flow.rate_bps, flow.goodput_bps,
+                                 flow.bytes_delivered, flow.loss_rate]))
+        return finals
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+def compute_paths(full: Topology,
+                  scenario: ShardScenario) -> List[Tuple[LinkKey, ...]]:
+    """Global shortest-path link keys per flow spec, computed once on
+    the full topology (identical to what ``build_world`` assigns)."""
+    from ..netsim.routing import shortest_path
+    return [shortest_path(full, spec.src, spec.dst).link_keys
+            for spec in scenario.flows]
+
+
+def build_region(full: Topology, scenario: ShardScenario,
+                 partition: Partition, region_index: int, sync: str,
+                 paths: List[Tuple[LinkKey, ...]],
+                 pin_plan: Optional[List[Tuple[float, List[float],
+                                               List[Tuple[float, ...]]]]]
+                 = None,
+                 exchange_packets: bool = False) -> RegionWorld:
+    """Build one region's world from the shared full topology.
+
+    ``paths`` is :func:`compute_paths` output; ``pin_plan`` is the
+    coordinator's :func:`repro.shard.coordinator.plan_pins` segments
+    (exact mode only).  The caller is responsible for telemetry
+    isolation (reset before, capture/restore around).
+    """
+    if sync not in ("exact", "local"):
+        raise ValueError(f"unknown sync mode {sync!r}")
+    assignment = partition.assignment
+    members = partition.regions[region_index]
+    sim = Simulator(seed=scenario.seed)
+    topo = full.subtopology(members, sim=sim,
+                            name=f"{full.name}/region{region_index}")
+
+    flows = FlowSet()
+    flow_by_spec: Dict[int, Flow] = {}
+    home_specs: List[int] = []
+    crossing_specs: List[int] = []
+    for idx, spec in enumerate(scenario.flows):
+        links = paths[idx]
+        home = assignment[spec.src]
+        regions_crossed = {assignment[a] for (a, b) in links
+                           if assignment[a] == assignment[b]}
+        crossing = len(regions_crossed) > 1 or any(
+            assignment[a] != assignment[b] for (a, b) in links)
+        if sync == "exact":
+            hosted = home == region_index
+        else:
+            hosted = region_index in regions_crossed
+        if not hosted:
+            continue
+        flow = make_flow(spec.src, spec.dst, spec.demand_bps,
+                         sport=spec.sport, weight=spec.weight,
+                         elastic=spec.elastic, malicious=spec.malicious,
+                         start_time=spec.start_time, end_time=spec.end_time)
+        if sync == "local":
+            local_keys = tuple(key for key in links
+                               if assignment[key[0]] == region_index
+                               and assignment[key[1]] == region_index)
+            flow.path = LinkSegment(spec.src, spec.dst, local_keys)
+        flows.add(flow)
+        flow_by_spec[idx] = flow
+        if home == region_index:
+            home_specs.append(idx)
+        if crossing:
+            crossing_specs.append(idx)
+
+    if sync == "local":
+        # Exact mode needs no demand events: the pin segments already
+        # bake the post-change allocations in.
+        for change in scenario.changes:
+            flow = flow_by_spec.get(change.flow_index)
+            if flow is not None and change.time_s <= scenario.duration_s:
+                sim.schedule_at(change.time_s, _set_demand, flow,
+                                change.demand_bps)
+
+    fluid = FluidNetwork(topo, flows,
+                         update_interval=scenario.fluid_interval_s,
+                         tcp_tau=scenario.tcp_tau)
+    if sync == "exact" and pin_plan:
+        spec_ids = sorted(flow_by_spec)
+        for seg_time, rates, losses in pin_plan:
+            seg_rates = {flow_by_spec[i].flow_id: rates[i]
+                         for i in spec_ids}
+            seg_losses = {flow_by_spec[i].flow_id: losses[i]
+                          for i in spec_ids}
+            sim.schedule_at(seg_time, _apply_pins, fluid, seg_rates,
+                            seg_losses)
+
+    outbox: List[Tuple[float, str, Packet]] = []
+    portals: Dict[str, PortalNode] = {}
+    if exchange_packets:
+        for key in partition.boundary_out(region_index):
+            inside, outside = key
+            if outside not in portals:
+                portals[outside] = PortalNode(sim, outside, outbox)
+            portal = portals[outside]
+            cut = full.links[key]
+            # Real capacity, zero propagation: delivery lands inside the
+            # sending window and the portal adds the true delay (see
+            # PortalNode).  The link is attached node-side only — never
+            # registered in ``topo.links`` — so the fluid allocator and
+            # graph exports are unaffected.
+            stitch = Link(sim, topo.nodes[inside], portal,
+                          cut.capacity_bps, 0.0)
+            topo.nodes[inside].attach_link(stitch)
+            portal.delays[inside] = cut.delay_s
+
+    # Mirror the single-engine build order: fluid first, sampler second,
+    # so their relative event ordering matches run_single exactly.
+    fluid.start()
+    sampler = GoodputSampler(
+        sim,
+        [flow_by_spec[i] for i in home_specs
+         if not flow_by_spec[i].malicious],
+        [flow_by_spec[i] for i in home_specs
+         if flow_by_spec[i].malicious])
+    sampler.start(scenario.sample_period_s)
+
+    return RegionWorld(region_index=region_index, sync=sync, sim=sim,
+                       topo=topo, flows=flows, flow_by_spec=flow_by_spec,
+                       home_specs=home_specs,
+                       crossing_specs=crossing_specs, fluid=fluid,
+                       sampler=sampler, outbox=outbox, portals=portals)
+
+
+# ----------------------------------------------------------------------
+# The pool task (module-level: must be importable by worker processes)
+# ----------------------------------------------------------------------
+
+def run_region_window(payload: Tuple[bytes, float,
+                                     Optional[Dict[str, Any]]]
+                      ) -> Tuple[bytes, List[Tuple[float, str, Packet]],
+                                 Dict[int, float]]:
+    """Advance one region blob to ``t_end``; the unit of pool work.
+
+    Stateless with respect to the worker process: telemetry is reset,
+    the blob's globals bundle is restored, the window runs, and the
+    region is re-packed.  Pool workers need no task affinity, and the
+    coordinator's inline (``workers == 1``) execution of this same
+    function is byte-identical to the pooled path.
+    """
+    blob, t_end, inject = payload
+    telemetry.reset()
+    region = unpack_state(blob)
+    region.inject(inject)
+    region.run_window(t_end)
+    outbox = region.drain_outbox()
+    report = region.boundary_report()
+    return pack_state(region), outbox, report

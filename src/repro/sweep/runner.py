@@ -240,13 +240,20 @@ def _task_payload(task: SweepTask, out_dir: Optional[Path],
             "preempt_events": preempt_events}
 
 
-def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+def atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` as pretty JSON via a same-directory temp file +
+    ``os.replace`` so readers never observe a partial file.  Public: the
+    sharded coordinator reuses it for its summary artifacts."""
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")
     os.replace(tmp, path)
+
+
+#: Backwards-compatible private alias (pre-shard call sites).
+_atomic_write_json = atomic_write_json
 
 
 def _load_checkpoint(path: Path, task: SweepTask) -> Optional[Dict]:

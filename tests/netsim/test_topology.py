@@ -138,3 +138,134 @@ class TestRandom:
     def test_zero_switches_rejected(self, sim):
         with pytest.raises(ValueError):
             random_topology(sim, n_switches=0, n_hosts=1)
+
+
+class TestNodeRemoval:
+    """Regression tests: removing a node mid-run used to leave its
+    engine-scheduled work (monitor samples, periodic agents, queued link
+    deliveries) live, and ``remove_switch`` type-checked its target so
+    hosts could never be removed at all."""
+
+    def test_remove_switch_cancels_owned_periodic_work(self, sim):
+        topo = Topology(sim)
+        switch = topo.add_switch("s1")
+        fired = []
+        switch.own(sim.every(0.1, lambda: fired.append(sim.now)))
+        sim.run(until=0.55)
+        assert len(fired) == 6  # t=0.0 .. t=0.5
+        topo.remove_switch("s1")
+        sim.run(until=2.0)
+        assert len(fired) == 6  # nothing after removal
+        assert switch.retired
+
+    def test_remove_monitored_switch_mid_run(self, sim):
+        from repro.netsim import FlowSet, FluidNetwork, Monitor
+        from repro.netsim.routing import install_host_routes
+        from repro.netsim.sources import PacketSource
+
+        net = figure2_topology(sim)
+        topo = net.topo
+        fluid = FluidNetwork(topo, FlowSet(), update_interval=0.1).start()
+        monitor = Monitor(fluid, period=0.25).start()
+        monitor.watch_link_utilization("s1", "sR")
+        install_host_routes(topo)
+        PacketSource(topo, "client0", "victim", rate_pps=500).start()
+        sim.run(until=1.0)
+        topo.remove_switch("s1")
+        # Must not raise: queued deliveries on removed links degrade to
+        # drops, the monitor keeps sampling the (detached) link probe,
+        # and forwarding fails over to the surviving ECMP paths.
+        sim.run(until=3.0)
+        assert "s1" not in topo.nodes
+        assert ("s1", "sR") not in topo.links
+        assert ("sL", "s1") not in topo.links
+        # Traffic still flows end to end via s2/detours after removal.
+        assert topo.host("victim").received_count() > 500
+
+    def test_queued_packets_on_removed_link_are_dropped(self, sim):
+        from repro.netsim.packet import Packet
+
+        topo = Topology(sim)
+        topo.add_switch("s1")
+        topo.add_switch("s2")
+        # Tiny capacity so packets queue behind the serializer.
+        topo.add_duplex_link("s1", "s2", capacity_bps=8_000, delay_s=0.01)
+        link = topo.link("s1", "s2")
+        packets = [Packet(src="s1", dst="s2", size_bytes=1000)
+                   for _ in range(5)]
+        for packet in packets:
+            link.send(packet)
+        sim.run(until=1.0)  # first transmission starts
+        topo.remove_link("s1", "s2")
+        sim.run(until=60.0)
+        assert all(p.dropped for p in packets[1:])
+        assert any(p.dropped == "link_removed" for p in packets)
+
+    def test_remove_host(self, sim):
+        topo = Topology(sim)
+        topo.add_switch("s1")
+        topo.attach_host("h0", "s1")
+        topo.remove_host("h0")
+        assert "h0" not in topo.nodes
+        assert ("h0", "s1") not in topo.links
+        assert ("s1", "h0") not in topo.links
+
+    def test_remove_switch_accepts_hosts(self, sim):
+        # The historical entry point no longer type-checks its target.
+        topo = Topology(sim)
+        topo.add_switch("s1")
+        topo.attach_host("h0", "s1")
+        topo.remove_switch("h0")
+        assert "h0" not in topo.nodes
+
+    def test_orphaned_host_drops_instead_of_crashing(self, sim):
+        from repro.netsim.packet import Packet
+
+        topo = Topology(sim)
+        topo.add_switch("s1")
+        host = topo.attach_host("h0", "s1")
+        topo.remove_switch("s1")
+        packet = Packet(src="h0", dst="elsewhere", size_bytes=100)
+        assert host.originate(packet) is False
+        assert packet.dropped == "no_gateway"
+
+    def test_remove_unknown_node_raises(self, sim):
+        topo = Topology(sim)
+        with pytest.raises(KeyError):
+            topo.remove_node("ghost")
+
+
+class TestSubtopology:
+    def test_induced_members_and_links(self, sim):
+        net = figure2_topology(sim)
+        sub = net.topo.subtopology(["sL", "s1", "s2", "client0"])
+        assert sorted(sub.nodes) == ["client0", "s1", "s2", "sL"]
+        assert ("sL", "s1") in sub.links and ("s1", "sL") in sub.links
+        # Cut links (one endpoint outside) are not copied.
+        assert ("s1", "sR") not in sub.links
+        assert sub.host("client0").gateway == "sL"
+
+    def test_link_parameters_copied(self, sim):
+        net = figure2_topology(sim)
+        sub = net.topo.subtopology(["sL", "s1"])
+        original = net.topo.link("sL", "s1")
+        copy = sub.link("sL", "s1")
+        assert copy.capacity_bps == original.capacity_bps
+        assert copy.delay_s == original.delay_s
+
+    def test_gateway_outside_members_is_dropped(self, sim):
+        net = figure2_topology(sim)
+        sub = net.topo.subtopology(["client0", "s1"])
+        assert sub.host("client0").gateway is None
+
+    def test_unknown_member_rejected(self, sim):
+        net = figure2_topology(sim)
+        with pytest.raises(KeyError):
+            net.topo.subtopology(["sL", "ghost"])
+
+    def test_separate_simulator(self, sim):
+        other = Simulator(seed=99)
+        net = figure2_topology(sim)
+        sub = net.topo.subtopology(["sL", "s1"], sim=other)
+        assert sub.sim is other
+        assert net.topo.sim is sim

@@ -1,6 +1,8 @@
 """Tests for the traceroute client (renamed from netsim.tracing)."""
 
 
+import pytest
+
 from repro.netsim import TracerouteClient
 
 
@@ -71,16 +73,27 @@ class TestTraceroute:
         assert {r.src for r in results} == {"bot0", "client0"}
 
 
-class TestDeprecatedTracingAlias:
-    def test_old_module_still_imports_with_warning(self):
+class TestTracingShimRemoved:
+    """The ``repro.netsim.tracing`` deprecation shim is gone: it fired a
+    module-level DeprecationWarning on import, which polluted warning
+    capture in every downstream test that transitively imported it."""
+
+    def test_traceroute_imports_clean(self):
         import importlib
         import sys
         import warnings
 
-        sys.modules.pop("repro.netsim.tracing", None)
+        sys.modules.pop("repro.netsim.traceroute", None)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            legacy = importlib.import_module("repro.netsim.tracing")
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        assert legacy.TracerouteClient is TracerouteClient
+            module = importlib.import_module("repro.netsim.traceroute")
+        assert caught == []
+        assert module.TracerouteClient is not None
+
+    def test_old_alias_is_gone(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.netsim.tracing", None)
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.netsim.tracing")

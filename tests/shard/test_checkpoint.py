@@ -1,0 +1,86 @@
+"""Sharded checkpoint/resume: barrier snapshots, crash recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.shard import coordinator, figure3_scenario, run_sharded
+from repro.shard.coordinator import MANIFEST_NAME, PENDING_NAME
+
+
+def scenario_for(seed=0):
+    return figure3_scenario(seed=seed, duration_s=2.0, attack_start_s=1.0)
+
+
+def canonical(record):
+    return json.dumps(record, sort_keys=True)
+
+
+class TestCheckpointWrites:
+    def test_checkpointing_is_observationally_free(self, tmp_path):
+        scenario = scenario_for()
+        plain = run_sharded(scenario, n_regions=2)
+        checkpointed = run_sharded(scenario, n_regions=2,
+                                   checkpoint_dir=tmp_path)
+        assert canonical(checkpointed) == canonical(plain)
+
+    def test_final_manifest_points_at_the_horizon(self, tmp_path):
+        scenario = scenario_for()
+        run_sharded(scenario, n_regions=2, checkpoint_dir=tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["next_t"] == scenario.duration_s
+        assert manifest["n_regions"] == 2
+        assert manifest["scenario"] == scenario.to_dict()
+        for name in manifest["blobs"]:
+            assert (tmp_path / name).stat().st_size > 0
+        assert (tmp_path / PENDING_NAME).exists()
+
+
+class TestResume:
+    def test_crash_and_resume_is_byte_identical(self, tmp_path,
+                                                monkeypatch):
+        scenario = scenario_for()
+        baseline = run_sharded(scenario, n_regions=2)
+
+        real = coordinator.run_region_window
+        calls = {"n": 0}
+
+        def crashing(payload):
+            calls["n"] += 1
+            if calls["n"] > 5:
+                raise RuntimeError("simulated worker crash")
+            return real(payload)
+
+        monkeypatch.setattr(coordinator, "run_region_window", crashing)
+        with pytest.raises(RuntimeError, match="simulated worker crash"):
+            run_sharded(scenario, n_regions=2, checkpoint_dir=tmp_path)
+        monkeypatch.setattr(coordinator, "run_region_window", real)
+
+        # The crash landed mid-window: the manifest still describes the
+        # last completed barrier, so the resumed run replays from there.
+        resumed = run_sharded(scenario, n_regions=2,
+                              checkpoint_dir=tmp_path, resume=True)
+        assert canonical(resumed) == canonical(baseline)
+
+    def test_resume_without_manifest_starts_fresh(self, tmp_path):
+        scenario = scenario_for()
+        baseline = run_sharded(scenario, n_regions=2)
+        resumed = run_sharded(scenario, n_regions=2,
+                              checkpoint_dir=tmp_path, resume=True)
+        assert canonical(resumed) == canonical(baseline)
+
+    def test_resume_needs_a_checkpoint_dir(self):
+        with pytest.raises(ValueError):
+            run_sharded(scenario_for(), n_regions=2, resume=True)
+
+    def test_mismatched_configuration_refuses_to_resume(self, tmp_path):
+        scenario = scenario_for()
+        run_sharded(scenario, n_regions=2, checkpoint_dir=tmp_path)
+        with pytest.raises(ValueError, match="different"):
+            run_sharded(scenario, n_regions=3, checkpoint_dir=tmp_path,
+                        resume=True)
+        with pytest.raises(ValueError, match="different"):
+            run_sharded(scenario_for(seed=1), n_regions=2,
+                        checkpoint_dir=tmp_path, resume=True)

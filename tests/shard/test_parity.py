@@ -1,0 +1,72 @@
+"""Byte-identity property tests: sharded exact mode vs. the single engine.
+
+The contract (DESIGN.md "Sharded simulation"): in ``exact`` sync mode
+the sharded stable record — samples, per-flow finals, update and pass
+counts — is byte-identical (compared via ``json.dumps(...,
+sort_keys=True)``) to :func:`repro.shard.scenario.run_single` on the
+same scenario, for any region count and any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.shard import figure3_scenario, run_sharded, run_single
+
+#: Keys both run_single and run_sharded emit with identical meaning.
+STABLE_KEYS = ("samples", "flows", "updates", "allocation_passes")
+
+
+def canonical(record, keys=STABLE_KEYS):
+    return json.dumps({key: record[key] for key in keys}, sort_keys=True)
+
+
+def scenario_for(seed):
+    # Short horizon with the attack wave and demand churn inside it, so
+    # every seed exercises active-set changes and version bumps.
+    return figure3_scenario(seed=seed, duration_s=2.0, attack_start_s=1.0)
+
+
+class TestExactByteIdentity:
+    def test_25_seeds_2_and_4_regions(self):
+        for seed in range(25):
+            scenario = scenario_for(seed)
+            single = canonical(run_single(scenario))
+            for n_regions in (2, 4):
+                sharded = run_sharded(scenario, n_regions=n_regions)
+                assert canonical(sharded) == single, (
+                    f"seed {seed}, {n_regions} regions diverged from the "
+                    f"single engine")
+
+    def test_worker_count_never_changes_results(self):
+        scenario = scenario_for(7)
+        pooled = run_sharded(scenario, n_regions=2, workers=2)
+        inline = run_sharded(scenario, n_regions=2, workers=1)
+        # Full-record identity, merged telemetry included; only the
+        # literal workers field may differ.
+        pooled.pop("workers")
+        inline.pop("workers")
+        assert json.dumps(pooled, sort_keys=True) \
+            == json.dumps(inline, sort_keys=True)
+
+    def test_longer_horizon_stays_identical(self):
+        scenario = figure3_scenario(seed=3, duration_s=4.0,
+                                    attack_start_s=2.5)
+        single = canonical(run_single(scenario))
+        assert canonical(run_sharded(scenario, n_regions=4)) == single
+
+    def test_explicit_window_length_is_neutral(self):
+        scenario = scenario_for(11)
+        default = canonical(run_sharded(scenario, n_regions=2))
+        small = canonical(run_sharded(scenario, n_regions=2,
+                                      window_s=0.17))
+        assert small == default
+
+
+class TestSingleEngineWindowing:
+    def test_run_single_window_slicing_is_observationally_free(self):
+        scenario = scenario_for(5)
+        plain = run_single(scenario)
+        sliced = run_single(scenario, window_s=0.3)
+        assert json.dumps(plain, sort_keys=True) \
+            == json.dumps(sliced, sort_keys=True)

@@ -1,0 +1,112 @@
+"""Unit tests for the METIS-style greedy edge-cut partitioner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import Simulator
+from repro.shard import partition_topology
+from repro.shard.scenario import build_topology, random_scenario
+
+
+def _random_topo(seed=0, n_switches=40, n_hosts=80):
+    scenario = random_scenario(seed=seed, n_switches=n_switches,
+                               n_hosts=n_hosts, n_flows=1,
+                               duration_s=1.0)
+    return build_topology(scenario, Simulator(seed=seed))
+
+
+class TestPartitionCoverage:
+    def test_every_node_in_exactly_one_region(self):
+        topo = _random_topo()
+        part = partition_topology(topo, 4)
+        assert set(part.assignment) == set(topo.nodes)
+        flattened = [name for members in part.regions for name in members]
+        assert sorted(flattened) == sorted(topo.nodes)
+        assert len(flattened) == len(set(flattened))
+        for region, members in enumerate(part.regions):
+            assert all(part.assignment[name] == region for name in members)
+
+    def test_hosts_follow_their_gateway_switch(self):
+        topo = _random_topo()
+        part = partition_topology(topo, 4)
+        for host_name in topo.host_names:
+            gateway = topo.nodes[host_name].gateway
+            assert part.assignment[host_name] == part.assignment[gateway]
+
+    def test_regions_reasonably_balanced(self):
+        topo = _random_topo(n_switches=60)
+        part = partition_topology(topo, 4)
+        switch_names = set(topo.switch_names)
+        sizes = [len([m for m in members if m in switch_names])
+                 for members in part.regions]
+        assert min(sizes) >= 1
+        # The refinement sweep never drains a region below half its
+        # balanced share.
+        assert min(sizes) >= 60 // (2 * 4)
+
+
+class TestBoundary:
+    def test_boundary_is_symmetric_and_cross_region(self):
+        topo = _random_topo()
+        part = partition_topology(topo, 3)
+        assert part.boundary, "3 regions of a connected graph must cut"
+        for (a, b), (src_region, dst_region) in part.boundary.items():
+            assert (b, a) in part.boundary
+            assert part.boundary[(b, a)] == (dst_region, src_region)
+            assert part.assignment[a] == src_region
+            assert part.assignment[b] == dst_region
+            assert src_region != dst_region
+        assert part.cut_edges == len(part.boundary) // 2
+
+    def test_boundary_out_lists_links_leaving_the_region(self):
+        topo = _random_topo()
+        part = partition_topology(topo, 3)
+        for region in range(3):
+            out = part.boundary_out(region)
+            assert out == sorted(out)
+            for a, b in out:
+                assert part.assignment[a] == region
+                assert part.assignment[b] != region
+
+    def test_min_boundary_delay(self):
+        topo = _random_topo()
+        part = partition_topology(topo, 2)
+        min_delay = part.min_boundary_delay(topo)
+        assert min_delay == min(topo.links[key].delay_s
+                                for key in part.boundary)
+
+    def test_single_region_has_no_boundary(self):
+        topo = _random_topo()
+        part = partition_topology(topo, 1)
+        assert part.boundary == {}
+        assert part.cut_edges == 0
+        assert part.min_boundary_delay(topo) is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_partition(self):
+        first = partition_topology(_random_topo(), 4, seed=3)
+        second = partition_topology(_random_topo(), 4, seed=3)
+        assert first.assignment == second.assignment
+        assert first.regions == second.regions
+        assert first.boundary == second.boundary
+        assert first.cut_edges == second.cut_edges
+
+    def test_seed_changes_the_partition(self):
+        topo = _random_topo()
+        assignments = {tuple(sorted(
+            partition_topology(topo, 4, seed=seed).assignment.items()))
+            for seed in range(8)}
+        assert len(assignments) > 1
+
+
+class TestValidation:
+    def test_zero_regions_rejected(self):
+        with pytest.raises(ValueError):
+            partition_topology(_random_topo(), 0)
+
+    def test_more_regions_than_switches_rejected(self):
+        topo = _random_topo(n_switches=5, n_hosts=10)
+        with pytest.raises(ValueError):
+            partition_topology(topo, 6)

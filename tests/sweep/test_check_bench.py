@@ -43,19 +43,29 @@ def good_dataplane():
                           "dataplane_batch_fallback_packets_total": 0}}
 
 
+def good_shard():
+    return {"scaling": 3.5, "speedup": 2.5, "cpu_count": 1,
+            "single_engine_s": 50.0,
+            "workers": {"1": {"seconds": 70.0, "allocation_passes": 25},
+                        "8": {"seconds": 20.0, "allocation_passes": 200}}}
+
+
 def write_benches(tmp_path):
     fluid = tmp_path / "BENCH_fluid.json"
     routing = tmp_path / "BENCH_routing.json"
     dataplane = tmp_path / "BENCH_dataplane.json"
+    shard = tmp_path / "BENCH_shard.json"
     fluid.write_text(json.dumps(good_fluid()))
     routing.write_text(json.dumps(good_routing()))
     dataplane.write_text(json.dumps(good_dataplane()))
-    return fluid, routing, dataplane
+    shard.write_text(json.dumps(good_shard()))
+    return fluid, routing, dataplane, shard
 
 
-def gate_args(fluid, routing, dataplane, *extra):
+def gate_args(fluid, routing, dataplane, shard, *extra):
     return [str(fluid), "--routing-bench", str(routing),
-            "--dataplane-bench", str(dataplane)] + list(extra)
+            "--dataplane-bench", str(dataplane),
+            "--shard-bench", str(shard)] + list(extra)
 
 
 def set_mtime(path, when):
@@ -67,21 +77,21 @@ class TestFreshness:
         marker = tmp_path / "marker"
         marker.touch()
         set_mtime(marker, 1_000_000.0)
-        fluid, routing, dataplane = write_benches(tmp_path)
-        for bench in (fluid, routing, dataplane):
+        benches = write_benches(tmp_path)
+        for bench in benches:
             set_mtime(bench, 1_000_100.0)
         assert load_script().main(gate_args(
-            fluid, routing, dataplane, "--newer-than", str(marker))) == 0
+            *benches, "--newer-than", str(marker))) == 0
 
     def test_missing_required_file_is_named_hard_failure(
             self, tmp_path, capsys):
         marker = tmp_path / "marker"
         marker.touch()
-        fluid, routing, dataplane = write_benches(tmp_path)
-        dataplane.unlink()  # the benchmark "never ran"
+        benches = write_benches(tmp_path)
+        benches[2].unlink()  # the dataplane benchmark "never ran"
         script = load_script()
         rc = script.main(gate_args(
-            fluid, routing, dataplane, "--newer-than", str(marker)))
+            *benches, "--newer-than", str(marker)))
         assert rc == script.EXIT_STALE == 2
         err = capsys.readouterr().err
         assert "BENCH_dataplane.json" in err
@@ -92,24 +102,37 @@ class TestFreshness:
         marker = tmp_path / "marker"
         marker.touch()
         set_mtime(marker, 1_000_000.0)
-        fluid, routing, dataplane = write_benches(tmp_path)
-        set_mtime(fluid, 999_000.0)  # older than the marker: stale
-        set_mtime(routing, 1_000_100.0)
-        set_mtime(dataplane, 1_000_100.0)
+        benches = write_benches(tmp_path)
+        set_mtime(benches[0], 999_000.0)  # older than the marker: stale
+        for bench in benches[1:]:
+            set_mtime(bench, 1_000_100.0)
         script = load_script()
         rc = script.main(gate_args(
-            fluid, routing, dataplane, "--newer-than", str(marker)))
+            *benches, "--newer-than", str(marker)))
         assert rc == 2
         err = capsys.readouterr().err
         assert "STALE" in err
         assert "BENCH_fluid.json" in err
         assert "checked-in data" in err
 
-    def test_missing_marker_is_operational_error(self, tmp_path, capsys):
-        fluid, routing, dataplane = write_benches(tmp_path)
+    def test_stale_shard_bench_is_named_hard_failure(self, tmp_path,
+                                                     capsys):
+        marker = tmp_path / "marker"
+        marker.touch()
+        set_mtime(marker, 1_000_000.0)
+        benches = write_benches(tmp_path)
+        for bench in benches[:3]:
+            set_mtime(bench, 1_000_100.0)
+        set_mtime(benches[3], 999_000.0)
         rc = load_script().main(gate_args(
-            fluid, routing, dataplane,
-            "--newer-than", str(tmp_path / "never_touched")))
+            *benches, "--newer-than", str(marker)))
+        assert rc == 2
+        assert "BENCH_shard.json" in capsys.readouterr().err
+
+    def test_missing_marker_is_operational_error(self, tmp_path, capsys):
+        benches = write_benches(tmp_path)
+        rc = load_script().main(gate_args(
+            *benches, "--newer-than", str(tmp_path / "never_touched")))
         assert rc == 2
         assert "marker" in capsys.readouterr().err
 
@@ -120,35 +143,73 @@ class TestFreshness:
         marker = tmp_path / "marker"
         marker.touch()
         set_mtime(marker, 1_000_000.0)
-        fluid, routing, dataplane = write_benches(tmp_path)
+        benches = write_benches(tmp_path)
         bad = good_fluid()
         bad["speedup"] = 0.1
-        fluid.write_text(json.dumps(bad))
-        set_mtime(fluid, 999_000.0)
-        set_mtime(routing, 1_000_100.0)
-        set_mtime(dataplane, 1_000_100.0)
+        benches[0].write_text(json.dumps(bad))
+        set_mtime(benches[0], 999_000.0)
+        for bench in benches[1:]:
+            set_mtime(bench, 1_000_100.0)
         assert load_script().main(gate_args(
-            fluid, routing, dataplane, "--newer-than", str(marker))) == 2
+            *benches, "--newer-than", str(marker))) == 2
 
 
 class TestRegressionGates:
     def test_all_good_passes_without_marker(self, tmp_path):
-        fluid, routing, dataplane = write_benches(tmp_path)
-        assert load_script().main(
-            gate_args(fluid, routing, dataplane)) == 0
+        benches = write_benches(tmp_path)
+        assert load_script().main(gate_args(*benches)) == 0
 
     def test_speedup_regression_exits_one(self, tmp_path):
-        fluid, routing, dataplane = write_benches(tmp_path)
+        benches = write_benches(tmp_path)
         bad = good_routing()
         bad["speedup"] = 1.1
-        routing.write_text(json.dumps(bad))
-        assert load_script().main(
-            gate_args(fluid, routing, dataplane)) == 1
+        benches[1].write_text(json.dumps(bad))
+        assert load_script().main(gate_args(*benches)) == 1
 
     def test_absent_file_without_marker_still_fails(self, tmp_path):
         # Even without the freshness marker, a named missing file is a
         # failure (exit 1) — never a silent pass.
-        fluid, routing, dataplane = write_benches(tmp_path)
-        fluid.unlink()
-        assert load_script().main(
-            gate_args(fluid, routing, dataplane)) == 1
+        benches = write_benches(tmp_path)
+        benches[0].unlink()
+        assert load_script().main(gate_args(*benches)) == 1
+
+
+class TestShardGate:
+    def test_scaling_below_floor_exits_one(self, tmp_path, capsys):
+        benches = write_benches(tmp_path)
+        bad = good_shard()
+        bad["scaling"] = 1.4
+        benches[3].write_text(json.dumps(bad))
+        rc = load_script().main(gate_args(
+            *benches, "--min-shard-scaling", "2.0"))
+        assert rc == 1
+        assert "scaling regressed" in capsys.readouterr().err
+
+    def test_floor_flag_loosens_the_gate(self, tmp_path):
+        benches = write_benches(tmp_path)
+        bad = good_shard()
+        bad["scaling"] = 2.2  # below the 3.0 default, above CI's 2.0
+        benches[3].write_text(json.dumps(bad))
+        script = load_script()
+        assert script.main(gate_args(*benches)) == 1
+        assert script.main(gate_args(
+            *benches, "--min-shard-scaling", "2.0")) == 0
+
+    def test_missing_scaling_field_fails(self, tmp_path, capsys):
+        benches = write_benches(tmp_path)
+        benches[3].write_text(json.dumps({"speedup": 9.0}))
+        assert load_script().main(gate_args(*benches)) == 1
+        assert "scaling" in capsys.readouterr().err
+
+    def test_zero_allocation_passes_fails(self, tmp_path, capsys):
+        benches = write_benches(tmp_path)
+        bad = good_shard()
+        bad["workers"]["8"]["allocation_passes"] = 0
+        benches[3].write_text(json.dumps(bad))
+        assert load_script().main(gate_args(*benches)) == 1
+        assert "zero allocation passes" in capsys.readouterr().err
+
+    def test_missing_shard_bench_fails(self, tmp_path):
+        benches = write_benches(tmp_path)
+        benches[3].unlink()
+        assert load_script().main(gate_args(*benches)) == 1
