@@ -17,7 +17,7 @@ Usage::
 
     python scripts/check_bench.py [--min-speedup 2.0] \
         [--min-routing-speedup 2.0] [--min-dataplane-speedup 4.0] \
-        [--min-shard-scaling 2.0] \
+        [--min-shard-scaling 3.0] [--max-shard-overhead 1.25] \
         [--newer-than .bench_marker] \
         [path/to/BENCH_fluid.json] \
         [--routing-bench path/to/BENCH_routing.json] \
@@ -176,7 +176,7 @@ def check_dataplane(path, min_speedup):
     return None
 
 
-def check_shard(path, min_scaling):
+def check_shard(path, min_scaling, max_overhead):
     try:
         record = json.loads(Path(path).read_text())
     except FileNotFoundError:
@@ -190,6 +190,14 @@ def check_shard(path, min_scaling):
     if scaling < min_scaling:
         return (f"sharded 1->8 region scaling regressed: {scaling:.2f}x "
                 f"< {min_scaling:.1f}x floor")
+
+    overhead = record.get("workers1_overhead")
+    if not isinstance(overhead, (int, float)):
+        return f"{path} has no numeric 'workers1_overhead' field"
+    if overhead > max_overhead:
+        return (f"workers=1 sharded overhead regressed: {overhead:.2f}x "
+                f"> {max_overhead:.2f}x ceiling - per-window state "
+                f"serialization is back on the coordinator path")
 
     workers = record.get("workers", {})
     passes_8 = workers.get("8", {}).get("allocation_passes")
@@ -223,7 +231,11 @@ def main(argv=None):
                         help="path to BENCH_shard.json")
     parser.add_argument("--min-shard-scaling", type=float, default=3.0,
                         help="minimum acceptable sharded 1->8 region "
-                             "scaling (default: 3.0; CI floor 2.0)")
+                             "scaling (default and CI floor: 3.0)")
+    parser.add_argument("--max-shard-overhead", type=float, default=1.10,
+                        help="maximum acceptable workers=1 sharded time "
+                             "over single-engine time (default: 1.10; "
+                             "CI ceiling 1.25)")
     parser.add_argument("--newer-than", metavar="MARKER", default=None,
                         help="require every BENCH file to be strictly "
                              "newer than this marker file (exit 2 when "
@@ -278,14 +290,17 @@ def main(argv=None):
               f"{args.min_dataplane_speedup:.1f}x), batch path "
               f"{pipeline.get('batch_pps', '?')} pps")
 
-    error = check_shard(args.shard_bench, args.min_shard_scaling)
+    error = check_shard(args.shard_bench, args.min_shard_scaling,
+                        args.max_shard_overhead)
     if error:
         print(f"check_bench: FAIL: {error}", file=sys.stderr)
         failed = True
     else:
         record = json.loads(Path(args.shard_bench).read_text())
         print(f"check_bench: OK: shard scaling {record['scaling']:.2f}x "
-              f"(floor {args.min_shard_scaling:.1f}x), speedup vs single "
+              f"(floor {args.min_shard_scaling:.1f}x), workers=1 overhead "
+              f"{record['workers1_overhead']:.2f}x (ceiling "
+              f"{args.max_shard_overhead:.2f}x), speedup vs single "
               f"engine {record.get('speedup', '?')}x on "
               f"{record.get('cpu_count', '?')} cpu(s)")
 

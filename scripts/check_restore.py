@@ -40,7 +40,7 @@ from pathlib import Path
 #: Metric families excluded from the byte-identity comparison (kept in
 #: sync with repro.sweep.runner.WALL_CLOCK_METRICS — asserted below
 #: when the package is importable).
-WALL_CLOCK_METRICS = ("phase_duration_seconds",)
+WALL_CLOCK_METRICS = ("phase_duration_seconds", "shard_barrier_seconds")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 

@@ -29,7 +29,7 @@ import sys
 #: runner started embedding ``wall_clock_metrics``; current summaries
 #: carry the authoritative list themselves, so this script never
 #: drifts out of sync with repro.sweep.runner.WALL_CLOCK_METRICS.
-WALL_CLOCK_METRICS = ("phase_duration_seconds",)
+WALL_CLOCK_METRICS = ("phase_duration_seconds", "shard_barrier_seconds")
 
 
 def load(path):

@@ -33,6 +33,7 @@ enforced by ``scripts/check_restore.py`` in CI.
 from __future__ import annotations
 
 import itertools
+import pickle
 from importlib import import_module
 from typing import Any, Dict, Optional, Tuple
 
@@ -110,25 +111,43 @@ def save_checkpoint(path: PathLike, state: Any,
     return write_container(path, globals_blob, state_blob, dict(meta or {}))
 
 
-def pack_state(state: Any) -> bytes:
+def pack_state(state: Any,
+               globals_bundle: Optional[Dict[str, Any]] = None) -> bytes:
     """Serialize ``state`` plus the process-global bundle into one
-    in-memory blob — the wire format the sharded coordinator uses to
-    ship region worlds to pool workers (``save_checkpoint`` minus the
-    file container).  Packing mutates nothing.
+    in-memory blob — the wire format the sharded coordinator uses for
+    region checkpoints and final state collection (``save_checkpoint``
+    minus the file container).  Packing mutates nothing.
+
+    ``globals_bundle`` lets a caller that already holds a
+    :func:`capture_globals` snapshot (e.g. a resident region worker
+    swapping per-region bundles) embed it without re-capturing —
+    required when the live process globals are *not* the ones that
+    belong with ``state``.
     """
-    import pickle
-    return pickle.dumps((dump_state(capture_globals()), dump_state(state)),
+    if globals_bundle is None:
+        globals_bundle = capture_globals()
+    return pickle.dumps((dump_state(globals_bundle), dump_state(state)),
                         protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def unpack_state(blob: bytes) -> Any:
+def unpack_state(blob: bytes,
+                 globals_out: Optional[Dict[str, Any]] = None) -> Any:
     """Invert :func:`pack_state`: restore the globals bundle into this
     process (telemetry registry, trace, ID sequences), then unpickle and
-    return the state graph.
+    return the state graph.  (Restoring first is load-bearing: the state
+    segment references metric families symbolically, and resolution
+    requires them to exist — see :mod:`repro.checkpoint.pickler`.)
+
+    When ``globals_out`` is given, the embedded bundle is also copied
+    into it — so a caller that swaps per-region globals bundles (the
+    resident shard workers) can hold the blob's bundle without paying a
+    second :func:`capture_globals`.
     """
-    import pickle
     globals_blob, state_blob = pickle.loads(blob)
-    restore_globals(load_state(globals_blob))
+    bundle = load_state(globals_blob)
+    restore_globals(bundle)
+    if globals_out is not None:
+        globals_out.update(bundle)
     return load_state(state_blob)
 
 

@@ -119,41 +119,47 @@ def max_min_allocate(topo: Topology, flows: List[Flow]) -> AllocationResult:
     result = AllocationResult()
     capacities = _link_capacities(topo)
     load = dict.fromkeys(capacities, 0.0)
+    live_keys = set(load)
 
-    # Split flows once, pairing each with its cached link tuple; flows
-    # crossing removed links are zero-routed up front so the hot loops
-    # below never need membership guards.
-    inelastic: List[Tuple[Flow, tuple]] = []
-    elastic: List[Tuple[Flow, tuple]] = []
+    # Split flows once, pairing each with its cached link tuple and its
+    # effective demand (constant for the pass — nothing here mutates
+    # flows — so it is read once instead of once per filling round);
+    # flows crossing removed links are zero-routed up front so the hot
+    # loops below never need membership guards.
+    inelastic: List[Tuple[Flow, tuple, float]] = []
+    elastic: List[Tuple[Flow, tuple, float]] = []
     for flow in flows:
         links = flow.path_links()
-        if links is None or any(key not in load for key in links):
+        if links is None or not live_keys.issuperset(links):
             result.rates[flow.flow_id] = 0.0
         elif flow.elastic:
-            elastic.append((flow, links))
+            elastic.append((flow, links, flow.effective_demand_bps))
         else:
-            inelastic.append((flow, links))
+            inelastic.append((flow, links, flow.effective_demand_bps))
 
     # Pass 1: inelastic flows charge their (policed) demand outright.
-    for flow, links in inelastic:
-        demand = flow.effective_demand_bps
+    for flow, links, demand in inelastic:
         result.rates[flow.flow_id] = demand
         for key in links:
             load[key] += demand
 
     # Pass 2: progressive filling for elastic flows, driven by the
     # incremental link index: per-link unfrozen weight totals and member
-    # counts maintained by delta updates as flows freeze.
+    # counts maintained by delta updates as flows freeze.  The unfrozen
+    # entries carry (flow, links, demand, demand-reached threshold,
+    # weight); the scalar tail is pass-constant, hoisted out of the
+    # round loops.
     rate: Dict[int, float] = {}
     members: Dict[LinkKey, List[Flow]] = {}
     link_weight: Dict[LinkKey, float] = {}
     link_count: Dict[LinkKey, int] = {}
-    unfrozen: Dict[int, Tuple[Flow, tuple]] = {}
-    for flow, links in elastic:
+    unfrozen: Dict[int, Tuple[Flow, tuple, float, float, float]] = {}
+    for flow, links, demand in elastic:
         rate[flow.flow_id] = 0.0
-        if flow.effective_demand_bps <= 0:
+        if demand <= 0:
             continue
-        unfrozen[flow.flow_id] = (flow, links)
+        unfrozen[flow.flow_id] = (flow, links, demand,
+                                  demand * (1.0 - DEMAND_EPS), flow.weight)
         for key in links:
             if key in link_weight:
                 link_weight[key] += flow.weight
@@ -178,15 +184,16 @@ def max_min_allocate(topo: Topology, flows: List[Flow]) -> AllocationResult:
                 step = remaining[key] / link_weight[key]
                 if step < delta:
                     delta = step
-        for fid, (flow, _) in unfrozen.items():
-            headroom = (flow.effective_demand_bps - rate[fid]) / flow.weight
+        for fid, (_flow, _links, demand, _thresh, weight) in unfrozen.items():
+            headroom = (demand - rate[fid]) / weight
             if headroom < delta:
                 delta = headroom
         if delta == float("inf"):
             break
         if delta > 0:
-            for fid, (flow, _) in unfrozen.items():
-                rate[fid] += delta * flow.weight
+            for fid, (_flow, _links, _demand, _thresh, weight) \
+                    in unfrozen.items():
+                rate[fid] += delta * weight
             for key, count in link_count.items():
                 if count:
                     remaining[key] = max(
@@ -197,11 +204,18 @@ def max_min_allocate(topo: Topology, flows: List[Flow]) -> AllocationResult:
         saturated = {key for key, count in link_count.items()
                      if count and remaining[key] <= sat_eps[key]}
         newly_frozen = []
-        for fid, (flow, links) in unfrozen.items():
-            if rate[fid] >= flow.effective_demand_bps * (1.0 - DEMAND_EPS):
-                newly_frozen.append(fid)
-            elif saturated and any(key in saturated for key in links):
-                newly_frozen.append(fid)
+        if saturated:
+            for fid, (_flow, links, _demand, thresh, _weight) \
+                    in unfrozen.items():
+                if rate[fid] >= thresh:
+                    newly_frozen.append(fid)
+                elif not saturated.isdisjoint(links):
+                    newly_frozen.append(fid)
+        else:
+            for fid, (_flow, _links, _demand, thresh, _weight) \
+                    in unfrozen.items():
+                if rate[fid] >= thresh:
+                    newly_frozen.append(fid)
         if not newly_frozen:
             # Numerical stall guard: freeze everything touching the most
             # loaded active link (least relative headroom) to guarantee
@@ -212,9 +226,9 @@ def max_min_allocate(topo: Topology, flows: List[Flow]) -> AllocationResult:
                 break
             _C_STALL_FREEZES.inc()
         for fid in newly_frozen:
-            flow, links = unfrozen.pop(fid)
+            _flow, links, _demand, _thresh, weight = unfrozen.pop(fid)
             for key in links:
-                link_weight[key] -= flow.weight
+                link_weight[key] -= weight
                 link_count[key] -= 1
                 if link_count[key] == 0:
                     # Pin the total so float residue cannot linger.
@@ -222,8 +236,8 @@ def max_min_allocate(topo: Topology, flows: List[Flow]) -> AllocationResult:
 
     _C_FREEZE_ROUNDS.inc(rounds)
 
-    for flow, links in elastic:
-        granted = min(rate[flow.flow_id], flow.effective_demand_bps)
+    for flow, links, demand in elastic:
+        granted = min(rate[flow.flow_id], demand)
         result.rates[flow.flow_id] = granted
         for key in links:
             load[key] += granted
@@ -459,48 +473,61 @@ class FluidNetwork:
             _C_FASTPATH_HITS.inc()
 
         # Smooth elastic rates toward their allocation; account delivery.
+        # This commit loop runs once per flow per epoch — the dominant
+        # *linear* cost of an update — so per-flow attribute traffic is
+        # routed through ``flow.__dict__`` directly.  That is safe only
+        # because every field written here (rate_bps, goodput_bps,
+        # loss_rate, bytes_delivered) is an allocation *output*, outside
+        # ``_ALLOC_FIELDS``, for which ``Flow.__setattr__`` is a plain
+        # ``object.__setattr__`` with no dirty notification.
         alpha = 1.0 if self.tcp_tau <= 0 or dt <= 0 else \
             1.0 - math.exp(-dt / self.tcp_tau)
         smoothed_load: Dict[LinkKey, float] = {
             key: 0.0 for key in self.topo.links}
+        live_keys = set(smoothed_load)
+        rate_pins = self.rate_pins
+        loss_pins = self.loss_pins
+        rates = result.rates
+        link_loss = result.link_loss
         for flow in self.flows:
+            fd = flow.__dict__
             if not flow.active(now):
-                flow.rate_bps = 0.0
-                flow.goodput_bps = 0.0
-                flow.loss_rate = 0.0
+                fd["rate_bps"] = 0.0
+                fd["goodput_bps"] = 0.0
+                fd["loss_rate"] = 0.0
                 continue
             links = flow.path_links()
-            if links is not None and any(key not in smoothed_load
-                                         for key in links):
+            if links is not None and not live_keys.issuperset(links):
                 # The cached path crosses a link that no longer exists
                 # (switch repurposing removed it): zero-route the flow
                 # until a reroute assigns it a live path.
-                flow.rate_bps = 0.0
-                flow.goodput_bps = 0.0
-                flow.loss_rate = 1.0
+                fd["rate_bps"] = 0.0
+                fd["goodput_bps"] = 0.0
+                fd["loss_rate"] = 1.0
                 continue
-            pinned_target = (self.rate_pins.get(flow.flow_id)
-                             if self.rate_pins else None)
+            fid = fd["flow_id"]
+            pinned_target = rate_pins.get(fid) if rate_pins else None
             target = (pinned_target if pinned_target is not None
-                      else result.rates.get(flow.flow_id, 0.0))
-            if flow.elastic:
-                flow.rate_bps += (target - flow.rate_bps) * alpha
+                      else rates.get(fid, 0.0))
+            if fd["elastic"]:
+                rate = fd["rate_bps"]
+                rate += (target - rate) * alpha
             else:
-                flow.rate_bps = target
+                rate = target
+            fd["rate_bps"] = rate
             survival = 1.0
             if links is not None:
-                link_loss = result.link_loss
                 for key in links:
-                    smoothed_load[key] += flow.rate_bps
+                    smoothed_load[key] += rate
                     survival *= 1.0 - link_loss.get(key, 0.0)
-            pinned_losses = (self.loss_pins.get(flow.flow_id)
-                             if self.loss_pins else None)
+            pinned_losses = loss_pins.get(fid) if loss_pins else None
             if pinned_losses is not None:
                 for loss in pinned_losses:
                     survival *= 1.0 - loss
-            flow.loss_rate = 1.0 - survival
-            flow.goodput_bps = flow.rate_bps * survival
-            flow.bytes_delivered += flow.goodput_bps * dt / 8.0
+            fd["loss_rate"] = 1.0 - survival
+            goodput = rate * survival
+            fd["goodput_bps"] = goodput
+            fd["bytes_delivered"] = fd["bytes_delivered"] + goodput * dt / 8.0
 
         # Publish loads so packet-level traffic sees congestion.
         for key, link in self.topo.links.items():

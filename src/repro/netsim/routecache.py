@@ -74,6 +74,9 @@ _C_MISSES = _MET.counter(
 _C_SSSP = _MET.counter(
     "routing_sssp_recomputes_total",
     "native single-source shortest-path tree computations")
+_C_SSSP_PARTIAL = _MET.counter(
+    "routing_sssp_partial_total",
+    "early-terminated multi-target shortest-path computations")
 _C_REBUILDS = _MET.counter(
     "routing_graph_rebuilds_total",
     "networkx graph snapshot rebuilds")
@@ -120,7 +123,8 @@ class SsspTree:
 
 
 def _dijkstra(adj: Dict[str, List[Tuple[str, float]]],
-              root: str) -> SsspTree:
+              root: str,
+              targets: Optional[Set[str]] = None) -> SsspTree:
     """Native heap Dijkstra, bit-compatible with networkx's.
 
     Heap entries are ``(dist, push_counter, node)`` and neighbors are
@@ -128,11 +132,19 @@ def _dijkstra(adj: Dict[str, List[Tuple[str, float]]],
     of the exported graph), so pop order, parent choice on ties, and
     the floating-point accumulation sequence all match
     ``nx._dijkstra_multisource``.
+
+    With ``targets``, the search stops once every target is finalized.
+    A node's ``dist``/``parent`` entries are final the moment it pops,
+    so every finalized node's reconstructed path is identical to the
+    full tree's — but ``preds`` lists of non-finalized nodes are
+    incomplete, so partial trees must never be cached or used for ECMP
+    enumeration.
     """
     dist: Dict[str, float] = {}
     seen: Dict[str, float] = {root: 0.0}
     parent: Dict[str, Optional[str]] = {root: None}
     preds: Dict[str, List[str]] = {root: []}
+    remaining = None if targets is None else set(targets)
     counter = count(1)
     fringe: List[Tuple[float, int, str]] = [(0.0, 0, root)]
     push = heapq.heappush
@@ -142,6 +154,10 @@ def _dijkstra(adj: Dict[str, List[Tuple[str, float]]],
         if v in dist:
             continue  # already finalized via a shorter entry
         dist[v] = d
+        if remaining is not None:
+            remaining.discard(v)
+            if not remaining:
+                break
         for u, w in adj[v]:
             vu = d + w
             if u in dist:
@@ -280,6 +296,30 @@ class RouteCache:
         if src not in adj or dst not in adj:
             return None
         return self.sssp_tree(src).path_to(dst)
+
+    def shortest_node_paths_to(self, src: str, dsts: List[str]
+                               ) -> Dict[str, Optional[NodePath]]:
+        """src -> dst node paths for many destinations in one search.
+
+        Uses the cached full tree when one exists; otherwise runs a
+        single early-terminating Dijkstra that stops once every
+        destination is finalized.  Partial trees are *not* cached (their
+        ``preds`` lists are incomplete — see :func:`_dijkstra`), but the
+        paths they yield are bit-identical to the full tree's.
+        """
+        self._sync()
+        adj = self._adjacency()
+        if src not in adj:
+            return {dst: None for dst in dsts}
+        tree = self._trees.get(src)
+        if tree is not None:
+            _HIT["sssp"].inc()
+        else:
+            _C_SSSP_PARTIAL.inc()
+            tree = _dijkstra(adj, src,
+                             targets={dst for dst in dsts if dst in adj})
+        return {dst: tree.path_to(dst) if dst in adj else None
+                for dst in dsts}
 
     def all_shortest_node_paths(self, src: str,
                                 dst: str) -> Optional[List[NodePath]]:

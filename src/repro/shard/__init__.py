@@ -10,11 +10,15 @@ simulation"):
   workloads plus :func:`run_single`, the single-process reference every
   determinism claim is stated against.
 * :mod:`repro.shard.region` — one :class:`RegionWorld` per region: a
-  normal simulator + per-shard fluid allocator over a sub-topology,
-  shipped to pool workers as checkpoint blobs.
+  normal simulator + per-shard fluid allocator over a sub-topology.
+* :mod:`repro.shard.workers` — resident worker processes: each region
+  lives in one long-lived process for the whole run, built fresh there
+  (or unpacked once on resume); the per-window wire carries only the
+  outbox, boundary report and new sample records, never region state.
 * :mod:`repro.shard.coordinator` — conservative time windows: simulate
   to the window end, exchange boundary packets and granted rates at the
-  barrier, re-run the allocators with crossing flows pinned.
+  barrier, re-run the allocators with crossing flows pinned.  State
+  serializes only when a checkpoint is due (``checkpoint_every``).
 
 ``python -m repro shard --regions N --workers K`` drives it from the
 command line (:mod:`repro.shard.cli`).
@@ -25,9 +29,11 @@ from .partition import Partition, partition_topology
 from .region import LinkSegment, PortalNode, RegionWorld, build_region
 from .scenario import (ShardScenario, figure3_scenario, random_scenario,
                        run_single)
+from .workers import ResidentRegionHost, ShardWorkerError
 
 __all__ = [
     "LinkSegment", "Partition", "PortalNode", "RegionWorld",
-    "ShardScenario", "build_region", "figure3_scenario", "partition_topology",
+    "ResidentRegionHost", "ShardScenario", "ShardWorkerError",
+    "build_region", "figure3_scenario", "partition_topology",
     "plan_pins", "random_scenario", "run_sharded", "run_single",
 ]

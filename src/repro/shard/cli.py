@@ -58,7 +58,15 @@ def shard_main(argv=None) -> int:
                              "report whether the stable records match")
     parser.add_argument("--checkpoint", metavar="DIR", default=None,
                         help="write region blobs + manifest to DIR at "
-                             "every window barrier")
+                             "checkpoint barriers")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        metavar="N",
+                        help="checkpoint every N window barriers (the "
+                             "horizon barrier always checkpoints; "
+                             "default 1). State only serializes when a "
+                             "checkpoint is due, so larger N means less "
+                             "transport overhead and a coarser resume "
+                             "granularity")
     parser.add_argument("--resume", action="store_true",
                         help="continue from the manifest in --checkpoint "
                              "instead of starting at t=0")
@@ -86,11 +94,23 @@ def shard_main(argv=None) -> int:
                          workers=args.workers, sync=args.sync,
                          window_s=args.window,
                          checkpoint_dir=args.checkpoint,
-                         resume=args.resume)
+                         resume=args.resume,
+                         checkpoint_every=args.checkpoint_every)
     print(f"[shard] {record['mode']}: {args.scenario} seed={args.seed} "
           f"regions={record['n_regions']} workers={record['workers']} "
           f"cut_edges={record['cut_edges']} "
           f"passes={record['allocation_passes']}")
+    transport = record["transport"]
+    state = transport["state_bytes"]
+    cpu = transport["cpu_time_s"]
+    worker_cpu = sum(cpu["workers"])
+    print(f"[shard] transport: {transport['windows']} windows, "
+          f"barriers {transport['barrier_seconds_total']:.3f}s, "
+          f"state bytes out/in "
+          f"{state['to_workers']}/{state['from_workers']}, "
+          f"checkpoints {transport['checkpoints_written']}, "
+          f"cpu coordinator {cpu['coordinator']:.3f}s "
+          f"workers {worker_cpu:.3f}s")
 
     status = 0
     if args.compare:

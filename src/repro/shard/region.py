@@ -23,12 +23,13 @@ time windows by :mod:`repro.shard.coordinator`.  Two sync modes:
     region granted, plus headroom so rates can re-grow.  Scalable but
     approximate (boundary-link capacity is not itself allocated).
 
-Region state travels between the coordinator and pool workers as
-:func:`repro.checkpoint.core.pack_state` blobs; the module-level
-:func:`run_region_window` task is the unit of work a
-``ProcessPoolExecutor`` executes (and the coordinator calls it inline,
-under globals isolation, when ``workers == 1`` — byte-identical either
-way).
+Regions are *resident*: each lives unpacked inside a long-lived worker
+process (or inline in the coordinator when ``workers == 1``) for the
+whole run, exchanging only small per-window messages — see
+:mod:`repro.shard.workers`.  :func:`pack_state` blobs appear only at
+checkpoints and on resume.  The legacy blob-per-window task
+:func:`run_region_window` is retained as the reference implementation
+for the byte-identity parity tests.
 """
 
 from __future__ import annotations
@@ -45,7 +46,7 @@ from ..netsim.node import Node
 from ..netsim.packet import Packet
 from ..netsim.topology import Topology
 from .partition import Partition
-from .scenario import GoodputSampler, ShardScenario, build_topology
+from .scenario import GoodputSampler, ShardScenario
 
 LinkKey = Tuple[str, str]
 
@@ -224,10 +225,67 @@ class RegionWorld:
 def compute_paths(full: Topology,
                   scenario: ShardScenario) -> List[Tuple[LinkKey, ...]]:
     """Global shortest-path link keys per flow spec, computed once on
-    the full topology (identical to what ``build_world`` assigns)."""
-    from ..netsim.routing import shortest_path
-    return [shortest_path(full, spec.src, spec.dst).link_keys
-            for spec in scenario.flows]
+    the full topology (identical to what ``build_world`` assigns).
+
+    Specs are grouped by source host so each source costs one
+    early-terminating multi-target Dijkstra instead of one full tree
+    (bit-identical paths — see ``RouteCache.shortest_node_paths_to``).
+    """
+    from ..netsim.routing import NoRouteError, Path
+    by_src: Dict[str, List[int]] = {}
+    for idx, spec in enumerate(scenario.flows):
+        by_src.setdefault(spec.src, []).append(idx)
+    paths: List[Optional[Tuple[LinkKey, ...]]] = [None] * len(scenario.flows)
+    for src in sorted(by_src):
+        indices = by_src[src]
+        dsts = [scenario.flows[i].dst for i in indices]
+        node_paths = full.route_cache.shortest_node_paths_to(src, dsts)
+        for i, dst in zip(indices, dsts):
+            nodes = node_paths[dst]
+            if nodes is None:
+                raise NoRouteError(f"no path {src} -> {dst}")
+            paths[i] = Path(nodes).link_keys
+    return paths  # type: ignore[return-value]
+
+
+def _spec_placement(links: Tuple[LinkKey, ...],
+                    assignment: Dict[str, int]
+                    ) -> Tuple[set, bool]:
+    """Where one flow spec's global path lives.
+
+    Returns ``(regions_crossed, crossing)``: the set of regions holding
+    at least one interior link of the path, and whether the path spans
+    more than one region (or traverses any cut link).
+    """
+    regions_crossed = {assignment[a] for (a, b) in links
+                       if assignment[a] == assignment[b]}
+    crossing = len(regions_crossed) > 1 or any(
+        assignment[a] != assignment[b] for (a, b) in links)
+    return regions_crossed, crossing
+
+
+def hosted_counts(scenario: ShardScenario, partition: Partition, sync: str,
+                  paths: List[Tuple[LinkKey, ...]]) -> List[int]:
+    """How many flows :func:`build_region` creates per region.
+
+    One ``make_flow`` call per hosted spec — so the prefix sums give the
+    exact ``repro.netsim.flows:_flow_ids`` offset each region's build
+    starts at when regions are built in index order from a common
+    sequence base.  Resident workers building regions concurrently use
+    this to install the same flow-id assignment the sequential inline
+    build produces (flow ids are allocator tie-breakers, so this is
+    byte-identity, not cosmetics).
+    """
+    assignment = partition.assignment
+    counts = [0] * partition.n_regions
+    for idx, spec in enumerate(scenario.flows):
+        regions_crossed, _crossing = _spec_placement(paths[idx], assignment)
+        if sync == "exact":
+            counts[assignment[spec.src]] += 1
+        else:
+            for region in regions_crossed:
+                counts[region] += 1
+    return counts
 
 
 def build_region(full: Topology, scenario: ShardScenario,
@@ -259,10 +317,7 @@ def build_region(full: Topology, scenario: ShardScenario,
     for idx, spec in enumerate(scenario.flows):
         links = paths[idx]
         home = assignment[spec.src]
-        regions_crossed = {assignment[a] for (a, b) in links
-                           if assignment[a] == assignment[b]}
-        crossing = len(regions_crossed) > 1 or any(
-            assignment[a] != assignment[b] for (a, b) in links)
+        regions_crossed, crossing = _spec_placement(links, assignment)
         if sync == "exact":
             hosted = home == region_index
         else:
@@ -345,20 +400,22 @@ def build_region(full: Topology, scenario: ShardScenario,
 
 
 # ----------------------------------------------------------------------
-# The pool task (module-level: must be importable by worker processes)
+# Legacy blob-per-window task (reference implementation)
 # ----------------------------------------------------------------------
 
 def run_region_window(payload: Tuple[bytes, float,
                                      Optional[Dict[str, Any]]]
                       ) -> Tuple[bytes, List[Tuple[float, str, Packet]],
                                  Dict[int, float]]:
-    """Advance one region blob to ``t_end``; the unit of pool work.
+    """Advance one region blob to ``t_end`` — the pre-resident transport.
 
-    Stateless with respect to the worker process: telemetry is reset,
+    Stateless with respect to the executing process: telemetry is reset,
     the blob's globals bundle is restored, the window runs, and the
-    region is re-packed.  Pool workers need no task affinity, and the
-    coordinator's inline (``workers == 1``) execution of this same
-    function is byte-identical to the pooled path.
+    region is re-packed.  The live coordinator no longer uses this
+    (resident workers in :mod:`repro.shard.workers` keep regions
+    unpacked between windows); it is kept as the reference
+    implementation the parity tests drive to prove the resident
+    transport is byte-identical to the blob-per-window one.
     """
     blob, t_end, inject = payload
     telemetry.reset()

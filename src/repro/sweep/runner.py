@@ -66,7 +66,7 @@ _C_TASK_ERRORS = telemetry.metrics().counter(
 #: Metric families that measure *wall-clock* time and therefore cannot
 #: be identical across executions; everything else in a sweep's merged
 #: snapshot is a pure function of (spec, seeds).
-WALL_CLOCK_METRICS = (PHASE_METRIC,)
+WALL_CLOCK_METRICS = (PHASE_METRIC, "shard_barrier_seconds")
 
 
 def stable_metrics(snapshot: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,4 +1,4 @@
-"""Sharded checkpoint/resume: barrier snapshots, crash recovery."""
+"""Sharded checkpoint/resume: interval snapshots, crash recovery."""
 
 from __future__ import annotations
 
@@ -6,8 +6,9 @@ import json
 
 import pytest
 
-from repro.shard import coordinator, figure3_scenario, run_sharded
+from repro.shard import figure3_scenario, run_sharded
 from repro.shard.coordinator import MANIFEST_NAME, PENDING_NAME
+from repro.shard.workers import ResidentRegionHost
 
 
 def scenario_for(seed=0):
@@ -15,6 +16,9 @@ def scenario_for(seed=0):
 
 
 def canonical(record):
+    record = dict(record)
+    record.pop("transport", None)  # wall/cpu accounting: varies per run
+    record.pop("workers", None)  # literal knob; results must not depend on it
     return json.dumps(record, sort_keys=True)
 
 
@@ -37,6 +41,34 @@ class TestCheckpointWrites:
             assert (tmp_path / name).stat().st_size > 0
         assert (tmp_path / PENDING_NAME).exists()
 
+    def test_checkpoint_every_skips_intermediate_barriers(self, tmp_path):
+        """With an interval, state serializes only when a checkpoint is
+        due — the scenario has 4 windows, so every-3 writes at window 3
+        and at the horizon (always checkpointed)."""
+        scenario = scenario_for()
+        record = run_sharded(scenario, n_regions=2,
+                             checkpoint_dir=tmp_path, checkpoint_every=3)
+        transport = record["transport"]
+        assert transport["windows"] == 4
+        assert transport["checkpoints_written"] == 2
+        assert transport["messages"]["checkpoint"] == 4  # 2 regions x 2
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["next_t"] == scenario.duration_s
+
+    def test_checkpoint_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_sharded(scenario_for(), n_regions=2, checkpoint_every=0)
+
+    def test_no_serialization_without_checkpoint_dir(self):
+        """The headline property of the resident transport: a plain run
+        never packs or unpacks region state."""
+        record = run_sharded(scenario_for(), n_regions=2, workers=2)
+        transport = record["transport"]
+        assert transport["state_bytes"] == {"from_workers": 0,
+                                            "to_workers": 0}
+        assert "checkpoint" not in transport["messages"]
+        assert "load" not in transport["messages"]
+
 
 class TestResume:
     def test_crash_and_resume_is_byte_identical(self, tmp_path,
@@ -44,24 +76,55 @@ class TestResume:
         scenario = scenario_for()
         baseline = run_sharded(scenario, n_regions=2)
 
-        real = coordinator.run_region_window
+        real = ResidentRegionHost.window
         calls = {"n": 0}
 
-        def crashing(payload):
+        def crashing(self, t_end, inject):
             calls["n"] += 1
             if calls["n"] > 5:
                 raise RuntimeError("simulated worker crash")
-            return real(payload)
+            return real(self, t_end, inject)
 
-        monkeypatch.setattr(coordinator, "run_region_window", crashing)
+        monkeypatch.setattr(ResidentRegionHost, "window", crashing)
         with pytest.raises(RuntimeError, match="simulated worker crash"):
             run_sharded(scenario, n_regions=2, checkpoint_dir=tmp_path)
-        monkeypatch.setattr(coordinator, "run_region_window", real)
+        monkeypatch.setattr(ResidentRegionHost, "window", real)
 
         # The crash landed mid-window: the manifest still describes the
         # last completed barrier, so the resumed run replays from there.
         resumed = run_sharded(scenario, n_regions=2,
                               checkpoint_dir=tmp_path, resume=True)
+        assert canonical(resumed) == canonical(baseline)
+
+    def test_interval_checkpoint_crash_resume_is_byte_identical(
+            self, tmp_path, monkeypatch):
+        """checkpoint_every > 1 still resumes byte-identically: the
+        crash lands after an unpersisted barrier, so the resume replays
+        from the last interval checkpoint, further back in time."""
+        scenario = scenario_for()
+        baseline = run_sharded(scenario, n_regions=2)
+
+        real = ResidentRegionHost.window
+        calls = {"n": 0}
+
+        def crashing(self, t_end, inject):
+            calls["n"] += 1
+            if calls["n"] > 6:  # window 4 of 4: after the window-3 barrier
+                raise RuntimeError("simulated worker crash")
+            return real(self, t_end, inject)
+
+        monkeypatch.setattr(ResidentRegionHost, "window", crashing)
+        with pytest.raises(RuntimeError, match="simulated worker crash"):
+            run_sharded(scenario, n_regions=2, checkpoint_dir=tmp_path,
+                        checkpoint_every=2)
+        monkeypatch.setattr(ResidentRegionHost, "window", real)
+
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["next_t"] == 1.0  # windows are 0.5s; barrier 2 of 4
+
+        resumed = run_sharded(scenario, n_regions=2,
+                              checkpoint_dir=tmp_path, resume=True,
+                              checkpoint_every=2)
         assert canonical(resumed) == canonical(baseline)
 
     def test_resume_without_manifest_starts_fresh(self, tmp_path):
@@ -84,3 +147,19 @@ class TestResume:
         with pytest.raises(ValueError, match="different"):
             run_sharded(scenario_for(seed=1), n_regions=2,
                         checkpoint_dir=tmp_path, resume=True)
+
+    def test_resume_into_worker_processes(self, tmp_path):
+        """A checkpoint written inline resumes into multi-process
+        workers byte-identically — the one time the resident transport
+        ships state to a worker, visible in the transport accounting."""
+        scenario = scenario_for()
+        baseline = run_sharded(scenario, n_regions=2)
+        record = run_sharded(scenario, n_regions=2,
+                             checkpoint_dir=tmp_path, checkpoint_every=2)
+        assert canonical(record) == canonical(baseline)
+        resumed = run_sharded(scenario, n_regions=2, workers=2,
+                              checkpoint_dir=tmp_path, resume=True)
+        assert canonical(resumed) == canonical(baseline)
+        transport = resumed["transport"]
+        assert transport["messages"]["load"] == 2
+        assert transport["state_bytes"]["to_workers"] > 0

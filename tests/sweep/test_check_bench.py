@@ -44,8 +44,8 @@ def good_dataplane():
 
 
 def good_shard():
-    return {"scaling": 3.5, "speedup": 2.5, "cpu_count": 1,
-            "single_engine_s": 50.0,
+    return {"scaling": 3.5, "speedup": 2.5, "workers1_overhead": 1.05,
+            "cpu_count": 1, "single_engine_s": 50.0,
             "workers": {"1": {"seconds": 70.0, "allocation_passes": 25},
                         "8": {"seconds": 20.0, "allocation_passes": 200}}}
 
@@ -213,3 +213,31 @@ class TestShardGate:
         benches = write_benches(tmp_path)
         benches[3].unlink()
         assert load_script().main(gate_args(*benches)) == 1
+
+    def test_overhead_above_ceiling_exits_one(self, tmp_path, capsys):
+        benches = write_benches(tmp_path)
+        bad = good_shard()
+        bad["workers1_overhead"] = 1.4  # the old blob-transport tax
+        benches[3].write_text(json.dumps(bad))
+        rc = load_script().main(gate_args(
+            *benches, "--max-shard-overhead", "1.25"))
+        assert rc == 1
+        assert "overhead regressed" in capsys.readouterr().err
+
+    def test_overhead_ceiling_flag_loosens_the_gate(self, tmp_path):
+        benches = write_benches(tmp_path)
+        bad = good_shard()
+        bad["workers1_overhead"] = 1.2  # above the 1.10 default
+        benches[3].write_text(json.dumps(bad))
+        script = load_script()
+        assert script.main(gate_args(*benches)) == 1
+        assert script.main(gate_args(
+            *benches, "--max-shard-overhead", "1.25")) == 0
+
+    def test_missing_overhead_field_fails(self, tmp_path, capsys):
+        benches = write_benches(tmp_path)
+        bad = good_shard()
+        del bad["workers1_overhead"]
+        benches[3].write_text(json.dumps(bad))
+        assert load_script().main(gate_args(*benches)) == 1
+        assert "workers1_overhead" in capsys.readouterr().err
