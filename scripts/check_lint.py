@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
 """Gate CI on reprolint: zero findings beyond the committed baseline.
 
-Runs the in-tree linter (``repro.lint``) over ``src`` and diffs the
-result against ``reprolint_baseline.json``.  The gate is "zero **new**
-findings": anything grandfathered in the baseline passes, anything else
-fails with a message naming the offending rule and file.  Stale
-baseline entries (fixed findings still listed) are reported so the
-baseline shrinks over time instead of fossilizing.
+Runs the in-tree linter (``repro.lint``) in whole-program mode over
+``src`` and ``scripts`` and diffs the result against
+``reprolint_baseline.json``.  The gate is "zero **new** findings":
+anything grandfathered in the baseline passes, anything else fails with
+a message naming the offending rule and file.  Stale baseline entries
+(fixed findings still listed) are reported so the baseline shrinks over
+time instead of fossilizing.  ``--json-out FILE`` additionally writes
+the full findings payload (including grandfathered and suppressed
+counts) for CI to upload as an artifact.
 
 Usage::
 
     python scripts/check_lint.py
+    python scripts/check_lint.py --json-out lint_findings.json
     python scripts/check_lint.py --root /path/to/tree   # for tests
 """
 
 import argparse
+import json
 import os
 from pathlib import Path
 import sys
@@ -29,17 +34,20 @@ BASELINE_NAME = "reprolint_baseline.json"
 
 
 def check(root: Path, baseline_path: Path):
-    """Returns (failures, notes) for the tree rooted at ``root``."""
+    """Returns (failures, notes, payload) for the tree at ``root``."""
     failures = []
     notes = []
     src = root / "src"
     if not src.is_dir():
-        return [f"no src/ directory under {root}"], notes
+        return [f"no src/ directory under {root}"], notes, None
 
-    # Lint from inside the root with a relative path so baseline keys
+    # Lint from inside the root with relative paths so baseline keys
     # (which embed paths) are machine-independent and committable.
+    # scripts/ is optional so --root test trees stay minimal.
     os.chdir(root)
-    result = lint_paths(["src"])
+    paths = ["src"] + (["scripts"] if (root / "scripts").is_dir()
+                       else [])
+    result = lint_paths(paths, project=True)
     for path, error in result.parse_errors:
         failures.append(f"parse error in {path}: {error}")
 
@@ -48,7 +56,7 @@ def check(root: Path, baseline_path: Path):
         try:
             baseline = load_baseline(baseline_path)
         except ValueError as exc:
-            return [str(exc)], notes
+            return [str(exc)], notes, None
     new, grandfathered, stale = split_by_baseline(result.findings,
                                                   baseline)
     for finding in new:
@@ -63,11 +71,23 @@ def check(root: Path, baseline_path: Path):
             f"{len(stale)} stale baseline entr"
             f"{'y' if len(stale) == 1 else 'ies'} no longer produced "
             f"({', '.join(stale[:5])}{'...' if len(stale) > 5 else ''}); "
-            f"regenerate with: python -m repro.lint src "
+            f"regenerate with: python -m repro.lint src scripts "
             f"--baseline {BASELINE_NAME} --write-baseline")
-    notes.append(f"{result.files_checked} file(s) checked, "
-                 f"{result.suppressed} finding(s) suppressed inline")
-    return failures, notes
+    notes.append(f"{result.files_checked} file(s) checked (project "
+                 f"mode), {result.suppressed} finding(s) suppressed "
+                 f"inline")
+    payload = {
+        "paths": paths,
+        "project": True,
+        "findings": [f.to_dict() for f in new],
+        "grandfathered": len(grandfathered),
+        "stale_baseline_keys": stale,
+        "suppressed": result.suppressed,
+        "files_checked": result.files_checked,
+        "parse_errors": [{"path": p, "error": e}
+                         for p, e in result.parse_errors],
+    }
+    return failures, notes, payload
 
 
 def main(argv=None):
@@ -77,12 +97,21 @@ def main(argv=None):
     parser.add_argument("--baseline", type=Path, default=None,
                         help=f"baseline file (default: "
                              f"<root>/{BASELINE_NAME})")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="also write the findings payload to FILE "
+                             "(CI uploads it as an artifact)")
     args = parser.parse_args(argv)
 
     root = args.root.resolve()
+    json_out = (args.json_out.resolve()
+                if args.json_out is not None else None)
     baseline_path = (args.baseline if args.baseline is not None
                      else root / BASELINE_NAME)
-    failures, notes = check(root, baseline_path)
+    failures, notes, payload = check(root, baseline_path)
+    if json_out is not None and payload is not None:
+        json_out.write_text(json.dumps(payload, indent=2,
+                                       sort_keys=True) + "\n")
+        notes.append(f"findings payload written to {json_out}")
     for note in notes:
         print(f"check_lint: {note}")
     if failures:

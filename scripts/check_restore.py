@@ -37,12 +37,13 @@ import sys
 import time
 from pathlib import Path
 
-#: Metric families excluded from the byte-identity comparison (kept in
-#: sync with repro.sweep.runner.WALL_CLOCK_METRICS — asserted below
-#: when the package is importable).
-WALL_CLOCK_METRICS = ("phase_duration_seconds", "shard_barrier_seconds")
-
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+# The single source of truth for the families excluded from the
+# byte-identity comparison; importing it (instead of a local copy) is
+# what keeps this gate honest — reprolint RPL007 flags any re-copy.
+from repro.telemetry import WALL_CLOCK_METRICS  # noqa: E402
 
 
 class GateError(RuntimeError):
@@ -88,7 +89,9 @@ def last_heartbeat_events(stream_path):
 
 def kill_at(args, victim, stream_path, kill_events):
     """Watch the heartbeat stream; SIGKILL the victim past kill_events."""
-    deadline = time.monotonic() + args.timeout
+    # Wall clock is the point here: this is a watchdog on a real child
+    # process, not simulated time.
+    deadline = time.monotonic() + args.timeout  # reprolint: disable=RPL002
     while True:
         if victim.poll() is not None:
             raise GateError(
@@ -100,7 +103,7 @@ def kill_at(args, victim, stream_path, kill_events):
             victim.send_signal(signal.SIGKILL)
             victim.wait(timeout=60)
             return events
-        if time.monotonic() > deadline:
+        if time.monotonic() > deadline:  # reprolint: disable=RPL002
             victim.kill()
             raise GateError(
                 f"victim never reached {kill_events} events within "
@@ -145,14 +148,6 @@ def main(argv=None):
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = (src if not env.get("PYTHONPATH")
                          else src + os.pathsep + env["PYTHONPATH"])
-
-    # Keep the local exclusion list honest against the package's.
-    sys.path.insert(0, src)
-    from repro.sweep.runner import WALL_CLOCK_METRICS as RUNNER_WCM
-    if tuple(RUNNER_WCM) != WALL_CLOCK_METRICS:
-        raise GateError(
-            f"WALL_CLOCK_METRICS drift: script has {WALL_CLOCK_METRICS}, "
-            f"repro.sweep.runner has {tuple(RUNNER_WCM)}")
 
     try:
         # ---- 1. Reference run (uninterrupted) -----------------------

@@ -25,11 +25,13 @@ import json
 from pathlib import Path
 import sys
 
-#: Fallback wall-clock family list for summaries written before the
-#: runner started embedding ``wall_clock_metrics``; current summaries
-#: carry the authoritative list themselves, so this script never
-#: drifts out of sync with repro.sweep.runner.WALL_CLOCK_METRICS.
-WALL_CLOCK_METRICS = ("phase_duration_seconds", "shard_barrier_seconds")
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+# Fallback wall-clock family list for summaries written before the
+# runner started embedding ``wall_clock_metrics``; current summaries
+# carry the authoritative list themselves.  Imported, not copied, so
+# the fallback cannot drift either (reprolint RPL007).
+from repro.telemetry import WALL_CLOCK_METRICS  # noqa: E402
 
 
 def load(path):

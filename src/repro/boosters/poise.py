@@ -35,6 +35,13 @@ QUARANTINE_MODE = "quarantine"
 CONTEXT_HEADER = "context"
 
 
+def _allow_any_context(ctx: Dict[str, Any]) -> bool:
+    """Default predicate: every context passes.  A module-level function
+    (not a lambda) so policies stay picklable — AccessPolicy instances
+    are reachable from engine checkpoints (reprolint RPL010)."""
+    return True
+
+
 @dataclass(frozen=True)
 class AccessPolicy:
     """One context-aware rule: predicate -> allow/deny."""
@@ -43,7 +50,7 @@ class AccessPolicy:
     #: Destinations the rule protects; empty means every destination.
     protected_dsts: frozenset = frozenset()
     #: Predicate over the packet's context dict (missing context -> {}).
-    predicate: Callable[[Dict[str, Any]], bool] = lambda ctx: True
+    predicate: Callable[[Dict[str, Any]], bool] = _allow_any_context
     allow: bool = True
     priority: int = 0
 
@@ -64,7 +71,7 @@ class AccessPolicy:
     def deny_all(cls, name: str, dsts: List[str]) -> "AccessPolicy":
         """The default-deny backstop for protected destinations."""
         return cls(name=name, protected_dsts=frozenset(dsts),
-                   predicate=lambda ctx: True, allow=False, priority=0)
+                   predicate=_allow_any_context, allow=False, priority=0)
 
 
 class PoiseProgram(GatedProgram):

@@ -3,21 +3,25 @@ and mutation contracts.
 
 Usage::
 
-    python -m repro.lint [paths] [--json] [--baseline FILE]
+    python -m repro.lint [paths] [--project] [--json] [--baseline FILE]
                          [--select RPL001,...] [--ignore RPL005]
 
-See :mod:`repro.lint.core` for the framework, :mod:`repro.lint.rules`
-for the individual contracts, and DESIGN.md "Enforced invariants" for
-the rule table.
+See :mod:`repro.lint.core` for the per-file framework and the
+:class:`ProjectRule` API, :mod:`repro.lint.project` for the
+whole-program layer (symbol table, import graph, AST cache),
+:mod:`repro.lint.rules` for the individual contracts, and DESIGN.md
+"Enforced invariants" for the rule table.
 """
 
 from .baseline import load_baseline, split_by_baseline, write_baseline
-from .core import (Finding, FileContext, LintResult, Rule, all_rules,
-                   lint_paths, lint_source, register, rule_codes,
-                   select_rules)
+from .core import (Finding, FileContext, LintResult, ProjectRule, Rule,
+                   all_rules, lint_paths, lint_project, lint_source,
+                   register, rule_codes, select_rules)
+from .project import ProjectContext, ProjectFile
 
 __all__ = [
-    "FileContext", "Finding", "LintResult", "Rule", "all_rules",
-    "lint_paths", "lint_source", "load_baseline", "register",
+    "FileContext", "Finding", "LintResult", "ProjectContext",
+    "ProjectFile", "ProjectRule", "Rule", "all_rules", "lint_paths",
+    "lint_project", "lint_source", "load_baseline", "register",
     "rule_codes", "select_rules", "split_by_baseline", "write_baseline",
 ]

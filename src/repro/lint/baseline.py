@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Set, Tuple, Union
 
 from .core import Finding
 
@@ -67,7 +67,7 @@ def split_by_baseline(findings: Sequence[Finding],
     """
     new: List[Finding] = []
     grandfathered: List[Finding] = []
-    seen = set()
+    seen: Set[str] = set()
     for finding in findings:
         key = finding.baseline_key
         if key in baseline:

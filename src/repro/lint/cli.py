@@ -4,6 +4,13 @@ Exit codes: 0 clean (after suppressions and baseline), 1 findings or
 parse errors, 2 usage/configuration error.  ``--json`` emits one
 sorted, round-trippable JSON object on stdout for tooling
 (``scripts/check_lint.py`` consumes the same data via the API).
+
+Project mode (``--project``) additionally runs the cross-module rules
+(RPL007+) over the whole tree; it defaults **on** when any path
+argument is a directory — a full-tree run is exactly when whole-program
+contracts are checkable — and off for single-file invocations (editor
+integrations), where cross-module analysis would see only a fragment.
+``--no-project`` forces it off.
 """
 
 from __future__ import annotations
@@ -11,12 +18,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .baseline import load_baseline, split_by_baseline, write_baseline
-from .core import all_rules, lint_paths
+from .core import Finding, all_rules, lint_paths
 
-DEFAULT_PATHS = ["src"]
+DEFAULT_PATHS = ["src", "scripts"]
 
 
 def _parse_codes(text: Optional[str]) -> Optional[List[str]]:
@@ -32,7 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "telemetry, and mutation contracts")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories to lint "
-                             "(default: src)")
+                             "(default: src scripts)")
+    parser.add_argument("--project", action="store_true", default=None,
+                        dest="project",
+                        help="run cross-module project rules too "
+                             "(default: on when any path is a "
+                             "directory)")
+    parser.add_argument("--no-project", action="store_false",
+                        dest="project",
+                        help="per-file rules only, even on directories")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit findings as one JSON object")
     parser.add_argument("--baseline", metavar="FILE", default=None,
@@ -63,9 +79,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--write-baseline requires --baseline FILE")
 
     paths = args.paths if args.paths else DEFAULT_PATHS
+    project = args.project
+    if project is None:
+        project = any(Path(path).is_dir() for path in paths)
     try:
         result = lint_paths(paths, select=_parse_codes(args.select),
-                            ignore=_parse_codes(args.ignore))
+                            ignore=_parse_codes(args.ignore),
+                            project=project)
     except ValueError as exc:  # unknown rule codes
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -76,7 +96,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{args.baseline}")
         return 0
 
-    grandfathered = []
+    grandfathered: List[Finding] = []
     stale: List[str] = []
     findings = result.findings
     if args.baseline is not None:
@@ -95,6 +115,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "stale_baseline_keys": stale,
             "suppressed": result.suppressed,
             "files_checked": result.files_checked,
+            "project": project,
             "parse_errors": [{"path": p, "error": e}
                              for p, e in result.parse_errors],
         }

@@ -16,10 +16,18 @@ Architecture
   the :func:`register` decorator; ``exempt_paths`` carves out the
   modules that *implement* a contract (e.g. ``netsim/links.py`` is the
   one place allowed to write ``Link.capacity_bps``).
+* :class:`ProjectRule` — a check over the *whole parsed tree* (a
+  :class:`~repro.lint.project.ProjectContext`): cross-module contracts
+  like duplicated constants or pipe-protocol exhaustiveness that no
+  single file can witness.  Project rules run only in project mode
+  (``lint_paths(..., project=True)`` / the CLI's ``--project``, which
+  defaults on for directory arguments).
 * :class:`FileContext` — parsed source plus the suppression table
   extracted from ``# reprolint: disable=RPL0xx`` comments.
 * :func:`lint_paths` / :func:`lint_source` — the drivers; both return a
   :class:`LintResult` with findings sorted by (path, line, col, rule).
+  Inline suppressions and ``exempt_paths`` apply to project findings
+  exactly as to per-file ones (resolved through the finding's file).
 
 Suppression syntax (the sanctioned escape hatch; see DESIGN.md
 "Enforced invariants"):
@@ -41,7 +49,11 @@ import io
 from pathlib import Path
 import re
 import tokenize
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple, Type)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .project import ProjectContext, ProjectFile
 
 _DIRECTIVE = re.compile(
     r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)")
@@ -76,7 +88,7 @@ class FileContext:
 
     def __init__(self, display_path: str, source: str, tree: ast.Module,
                  line_suppressions: Dict[int, Set[str]],
-                 file_suppressions: Set[str]):
+                 file_suppressions: Set[str]) -> None:
         self.display_path = display_path
         self.source = source
         self.tree = tree
@@ -153,6 +165,29 @@ class Rule:
                        line=getattr(node, "lineno", 0),
                        col=getattr(node, "col_offset", 0),
                        rule=self.code, message=message)
+
+
+class ProjectRule(Rule):
+    """Base class: one cross-module contract check over the whole tree.
+
+    Subclasses override :meth:`check_project` and receive a
+    :class:`~repro.lint.project.ProjectContext` (import graph, symbol
+    table, every parsed file).  Findings may land in any file; the
+    driver applies that file's inline suppressions and this rule's
+    ``exempt_paths`` per finding.  Per-file runs skip project rules
+    entirely — they need the whole program to say anything sound.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def file_finding(self, pf: "ProjectFile", node: ast.AST,
+                     message: str) -> Finding:
+        """A finding anchored in one project file (its display path)."""
+        return self.finding(pf.ctx, node, message)
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -259,7 +294,8 @@ def lint_file(path: Path, rules: Sequence[Rule],
 def _check_context(ctx: FileContext, rules: Sequence[Rule],
                    result: LintResult) -> None:
     for rule in rules:
-        if not rule.applies(ctx.display_path):
+        if isinstance(rule, ProjectRule) or not rule.applies(
+                ctx.display_path):
             continue
         for finding in rule.check(ctx):
             if ctx.suppressed(finding.rule, finding.line):
@@ -268,16 +304,56 @@ def _check_context(ctx: FileContext, rules: Sequence[Rule],
                 result.findings.append(finding)
 
 
+def _check_project(project: "ProjectContext", rules: Sequence[Rule],
+                   result: LintResult) -> None:
+    for rule in rules:
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(project):
+            if not rule.applies(finding.path):
+                continue
+            pf = project.file_for(finding.path)
+            if pf is not None and pf.ctx.suppressed(finding.rule,
+                                                    finding.line):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+
+
 def lint_paths(paths: Sequence[str],
                select: Optional[Iterable[str]] = None,
-               ignore: Optional[Iterable[str]] = None) -> LintResult:
-    """Lint every Python file under ``paths``; the main entry point."""
+               ignore: Optional[Iterable[str]] = None,
+               project: bool = False) -> LintResult:
+    """Lint every Python file under ``paths``; the main entry point.
+
+    With ``project=True`` the tree is parsed once into a
+    :class:`~repro.lint.project.ProjectContext`, per-file rules run
+    over its cached contexts, and the cross-module
+    :class:`ProjectRule` checks run over the whole program.
+    """
     rules = select_rules(select, ignore)
     result = LintResult()
-    for path in iter_python_files(paths):
-        lint_file(path, rules, result)
+    if project:
+        from .project import ProjectContext
+        tree = ProjectContext.build(paths)
+        result.parse_errors.extend(tree.parse_errors)
+        for pf in tree.files:
+            result.files_checked += 1
+            _check_context(pf.ctx, rules, result)
+        _check_project(tree, rules, result)
+    else:
+        for path in iter_python_files(paths):
+            lint_file(path, rules, result)
     result.findings.sort()
     return result
+
+
+def lint_project(paths: Sequence[str],
+                 select: Optional[Iterable[str]] = None,
+                 ignore: Optional[Iterable[str]] = None) -> LintResult:
+    """Whole-program lint of ``paths``: :func:`lint_paths` with
+    ``project=True`` (the full-tree / CI entry point)."""
+    return lint_paths(paths, select=select, ignore=ignore, project=True)
 
 
 def lint_source(source: str, display_path: str = "<snippet>",

@@ -14,4 +14,8 @@ from . import (  # noqa: F401
     rpl004_telemetry,
     rpl005_assert,
     rpl006_ordering,
+    rpl007_constants,
+    rpl008_protocol,
+    rpl009_fsum,
+    rpl010_checkpoint,
 )

@@ -7,17 +7,23 @@ the unaliased call.  :class:`ImportMap` records, per file, which local
 names are bound to which canonical dotted modules (and which names were
 ``from``-imported from them), so rules resolve every call head back to
 its canonical module path before matching.
+
+Project rules (:mod:`repro.lint.project`) construct the map with the
+file's own dotted module name, which additionally resolves *relative*
+imports (``from ..checkpoint import pack_state`` inside
+``repro.shard.region`` binds ``pack_state`` to ``repro.checkpoint``) so
+the cross-module import graph sees through package-relative edges.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 def dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
     """``a.b.c`` as ``("a", "b", "c")`` for pure Name/Attribute chains."""
-    parts = []
+    parts: List[str] = []
     while isinstance(node, ast.Attribute):
         parts.append(node.attr)
         node = node.value
@@ -28,13 +34,27 @@ def dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
 
 
 class ImportMap:
-    """Local-name bindings for modules and from-imported symbols."""
+    """Local-name bindings for modules and from-imported symbols.
 
-    def __init__(self, tree: ast.Module):
+    Without ``module`` only absolute imports are recorded (the per-file
+    rules' historical behavior).  With ``module`` (the file's dotted
+    module name) and ``is_package`` (True for ``__init__.py``),
+    relative ``from``-imports are resolved to absolute module paths.
+    """
+
+    def __init__(self, tree: ast.Module, module: Optional[str] = None,
+                 is_package: bool = False) -> None:
+        self._module = module
+        self._is_package = is_package
         #: local alias -> canonical dotted module ("np" -> "numpy").
         self.modules: Dict[str, str] = {}
         #: local name -> (canonical module, original symbol name).
         self.symbols: Dict[str, Tuple[str, str]] = {}
+        #: every module path the file *executes* on import, full dotted
+        #: form — `import pkg.sub.deep` binds only "pkg" locally but
+        #: runs pkg, pkg.sub, and pkg.sub.deep (the import graph needs
+        #: the deep path; the binding maps need the local name).
+        self.imported: List[str] = []
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for item in node.names:
@@ -43,11 +63,34 @@ class ImportMap:
                     # the alias names the full dotted submodule.
                     self.modules[local] = (item.name if item.asname
                                           else item.name.split(".")[0])
-            elif isinstance(node, ast.ImportFrom) and node.module \
-                    and node.level == 0:
+                    self.imported.append(item.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(node)
+                if base is None:
+                    continue
+                self.imported.append(base)
                 for item in node.names:
                     local = item.asname or item.name
-                    self.symbols[local] = (node.module, item.name)
+                    self.symbols[local] = (base, item.name)
+
+    def _from_base(self, node: ast.ImportFrom) -> Optional[str]:
+        """The absolute module a ``from ... import`` pulls names from;
+        None when a relative import cannot be resolved (no module name
+        given, or the import climbs past the package root)."""
+        if node.level == 0:
+            return node.module
+        if self._module is None:
+            return None
+        parts = self._module.split(".")
+        # Level 1 names the enclosing package: the module's parent, or
+        # the package itself when the file is an ``__init__.py``.
+        drop = node.level - 1 if self._is_package else node.level
+        if drop >= len(parts):
+            return None  # climbs past the package root
+        base = parts[:len(parts) - drop]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
 
     def resolve_call(self, func: ast.AST) -> Optional[Tuple[str, str]]:
         """Canonical ``(module, symbol)`` for a call's func expression.

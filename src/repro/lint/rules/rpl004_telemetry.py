@@ -24,7 +24,7 @@ names and labels.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..core import FileContext, Finding, Rule, register
 from .common import iter_calls
@@ -53,7 +53,7 @@ def _module_string_constants(tree: ast.Module) -> dict:
     the sweep runner can import the same constant for its wall-clock
     exclusion list).
     """
-    consts = {}
+    consts: Dict[str, str] = {}
     for stmt in tree.body:
         if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
                 and isinstance(stmt.targets[0], ast.Name):

@@ -1,0 +1,180 @@
+"""RPL008 — every pipe command sent must be handled, and vice versa.
+
+The shard layer speaks a string-dispatch protocol over worker pipes:
+the coordinator sends ``("build", region)`` / ``("stats",)`` tuples and
+``region_worker_main`` dispatches on ``kind = message[0]`` through a
+``kind == "..."`` chain.  Nothing ties the two ends together — add a
+command on one side, forget the other, and the failure is a worker
+hanging on an unknown message (or a dead dispatch arm that silently
+stops being exercised).  That coordinator/worker drift is the classic
+silent-corruption bug of distributed emulation splits.
+
+Both directions flag:
+
+* a command **sent** somewhere in the handler's module (or a module
+  that imports it) with no matching dispatch arm — flagged at the send
+  site;
+* a dispatch **arm** whose command is never sent — flagged at the
+  comparison.
+
+A *handler* is any function that assigns ``<something>.recv()`` to a
+name and compares index ``[0]`` of it (directly or through an alias
+like ``kind = message[0]``) against two or more string literals.  A
+*send* is a tuple display whose first element is a string literal,
+passed (directly or inside a ``lambda`` body) to a call whose final
+attribute name contains ``send`` or ``fan``.  Tuples built inside the
+handler function itself are replies, not commands, and are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ProjectRule, register
+from ..project import ProjectContext, ProjectFile
+
+_MIN_ARMS = 2
+
+
+def _recv_names(func: ast.FunctionDef) -> Set[str]:
+    """Names assigned from a ``.recv()`` call inside ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Call) \
+                and isinstance(node.value.func, ast.Attribute) \
+                and node.value.func.attr == "recv":
+            names.add(node.targets[0].id)
+    return names
+
+
+def _is_head_subscript(node: ast.expr, messages: Set[str]) -> bool:
+    """``message[0]`` for a recv-assigned ``message``."""
+    return (isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in messages
+            and isinstance(node.slice, ast.Constant)
+            and node.slice.value == 0)
+
+
+def _kind_aliases(func: ast.FunctionDef, messages: Set[str]) -> Set[str]:
+    """Names assigned from ``message[0]`` (``kind = message[0]``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and _is_head_subscript(node.value, messages):
+            aliases.add(node.targets[0].id)
+    return aliases
+
+
+def _dispatch_arms(func: ast.FunctionDef) -> Dict[str, ast.Compare]:
+    """Command string -> the ``kind == "..."`` comparison node."""
+    messages = _recv_names(func)
+    if not messages:
+        return {}
+    aliases = _kind_aliases(func, messages)
+    arms: Dict[str, ast.Compare] = {}
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Compare) and len(node.ops) == 1
+                and isinstance(node.ops[0], ast.Eq)
+                and isinstance(node.comparators[0], ast.Constant)
+                and isinstance(node.comparators[0].value, str)):
+            continue
+        left = node.left
+        if (isinstance(left, ast.Name) and left.id in aliases) \
+                or _is_head_subscript(left, messages):
+            arms.setdefault(node.comparators[0].value, node)
+    return arms
+
+
+def _send_callee(call: ast.Call) -> bool:
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else "")
+    lowered = name.lower()
+    return "send" in lowered or "fan" in lowered
+
+
+def _command_tuple(node: ast.expr) -> Optional[Tuple[str, ast.expr]]:
+    """``("build", ...)`` directly or as a lambda body."""
+    if isinstance(node, ast.Lambda):
+        node = node.body
+    if isinstance(node, ast.Tuple) and node.elts \
+            and isinstance(node.elts[0], ast.Constant) \
+            and isinstance(node.elts[0].value, str):
+        return node.elts[0].value, node
+    return None
+
+
+def _sent_commands(pf: ProjectFile) -> List[Tuple[str, ast.expr]]:
+    """Every ``(command, tuple-node)`` passed to a send/fan call."""
+    sends: List[Tuple[str, ast.expr]] = []
+    for node in ast.walk(pf.ctx.tree):
+        if not (isinstance(node, ast.Call) and _send_callee(node)):
+            continue
+        for arg in node.args:
+            command = _command_tuple(arg)
+            if command is not None:
+                sends.append(command)
+    return sends
+
+
+def _inside(node: ast.expr, func: ast.FunctionDef) -> bool:
+    line = getattr(node, "lineno", 0)
+    end = getattr(func, "end_lineno", func.lineno)
+    return func.lineno <= line <= end
+
+
+@register
+class PipeProtocolRule(ProjectRule):
+    code = "RPL008"
+    name = "pipe-protocol"
+    description = ("string commands sent over worker pipes must match "
+                   "the receiving dispatch arms exactly — unhandled "
+                   "sends and unsent handlers both flag")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for pf in project.files:
+            if project.modules.get(pf.module) is not pf:
+                continue
+            for node in pf.ctx.tree.body:
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                arms = _dispatch_arms(node)
+                if len(arms) < _MIN_ARMS:
+                    continue
+                yield from self._check_handler(project, pf, node, arms)
+
+    def _check_handler(self, project: ProjectContext, handler_pf:
+                       ProjectFile, handler: ast.FunctionDef,
+                       arms: Dict[str, ast.Compare]) -> Iterator[Finding]:
+        related = [handler_pf.module] + project.importers_of(
+            handler_pf.module)
+        sent: Dict[str, List[Tuple[ProjectFile, ast.expr]]] = {}
+        for module in related:
+            pf = project.modules.get(module)
+            if pf is None:
+                continue
+            for command, tuple_node in _sent_commands(pf):
+                if pf is handler_pf and _inside(tuple_node, handler):
+                    continue  # replies from inside the handler
+                sent.setdefault(command, []).append((pf, tuple_node))
+        if not sent:
+            return  # no peer in the tree sends to this handler
+        handler_name = f"{handler_pf.module}.{handler.name}"
+        for command in sorted(set(sent) - set(arms)):
+            for pf, tuple_node in sent[command]:
+                yield self.file_finding(
+                    pf, tuple_node,
+                    f"pipe command {command!r} is sent but has no "
+                    f"dispatch arm in {handler_name}; the worker "
+                    f"cannot handle it")
+        for command in sorted(set(arms) - set(sent)):
+            yield self.file_finding(
+                handler_pf, arms[command],
+                f"dispatch arm for {command!r} in {handler_name} is "
+                f"never sent by any peer module; dead protocol arms "
+                f"hide drift")

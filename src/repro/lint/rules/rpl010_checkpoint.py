@@ -1,0 +1,181 @@
+"""RPL010 — state reachable from checkpoint roots must be picklable.
+
+The checkpoint format (PR 9) pickles everything ``pack_state`` /
+``save_checkpoint`` reach, plus a globals segment that re-seats the
+module-level ``itertools.count`` ID sequences listed in
+``GLOBAL_SEQUENCES``.  Two failure modes slip past per-file analysis:
+
+* an object in the import closure of a checkpointing module grows an
+  unpicklable attribute — a ``lambda`` default, an ``open()`` handle,
+  a live generator — and the first ``save`` after that change dies (or
+  worse, the restore silently rebuilds different behavior);
+* someone adds a module-level ``itertools.count`` sequence without
+  registering it, so restored runs re-issue IDs from zero and the
+  byte-identity gate fails a window later.
+
+The rule therefore works from the *project*: the checkpoint scope is
+the import closure of every module that calls ``pack_state`` /
+``save_checkpoint`` / ``snapshot``.  Inside that scope it flags
+
+* ``lambda`` values bound to ``self.<attr>``, class-level, or
+  module-level names (closures don't pickle);
+* ``open(...)`` calls bound to ``self.<attr>`` or module level (file
+  handles don't pickle; locals are fine — they die with the frame);
+* generator expressions bound the same way (generators don't pickle);
+* module-level ``itertools.count(...)`` assignments in scope whose
+  ``(module, attr)`` pair is missing from ``GLOBAL_SEQUENCES``.
+
+Modules that *implement* the machinery (checkpoint, telemetry, lint
+itself) are exempt — they own the contract.  Projects with no
+``GLOBAL_SEQUENCES`` definition skip the registry check entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ProjectRule, register
+from ..project import UNRESOLVED, ProjectContext, ProjectFile
+
+_ROOT_CALLS = ("pack_state", "save_checkpoint", "snapshot")
+
+
+def _root_modules(project: ProjectContext) -> List[str]:
+    roots: List[str] = []
+    for pf in project.files:
+        if project.modules.get(pf.module) is not pf:
+            continue
+        for node in ast.walk(pf.ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in _ROOT_CALLS:
+                    roots.append(pf.module)
+                    break
+    return roots
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _registered_sequences(
+        project: ProjectContext) -> Optional[Set[Tuple[str, str]]]:
+    """The ``(module, attr)`` pairs in the project's GLOBAL_SEQUENCES
+    registry, or None when no project module defines one."""
+    for pf in project.files:
+        value_node = project.module_assignments(pf.module).get(
+            "GLOBAL_SEQUENCES")
+        if value_node is None:
+            continue
+        value = project.resolve_expr(pf.module, value_node)
+        if value is UNRESOLVED or not isinstance(value, tuple):
+            return set()
+        pairs: Set[Tuple[str, str]] = set()
+        for entry in value:
+            if isinstance(entry, tuple) and len(entry) == 2 \
+                    and all(isinstance(part, str) for part in entry):
+                pairs.add((entry[0], entry[1]))
+        return pairs
+    return None
+
+
+def _is_itertools_count(node: ast.expr, pf: ProjectFile) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = pf.imports.resolve_call(node.func)
+    return resolved == ("itertools", "count")
+
+
+def _unpicklable_kind(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "open":
+        return "an open() handle"
+    return None
+
+
+def _iter_bindings(tree: ast.Module) -> Iterator[
+        Tuple[str, ast.expr, ast.stmt]]:
+    """``(where, value, stmt)`` for module-level, class-level, and
+    ``self.<attr>`` assignments — the bindings a pickle walk reaches."""
+    for node in tree.body:
+        for value, stmt in _simple_assigns(node):
+            yield "module level", value, stmt
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                for value, stmt in _simple_assigns(item):
+                    yield f"class {node.name}", value, stmt
+            for item in ast.walk(node):
+                if isinstance(item, ast.Assign) \
+                        and len(item.targets) == 1 \
+                        and isinstance(item.targets[0], ast.Attribute) \
+                        and isinstance(item.targets[0].value, ast.Name) \
+                        and item.targets[0].value.id == "self":
+                    yield (f"self.{item.targets[0].attr}",
+                           item.value, item)
+
+
+def _simple_assigns(node: ast.stmt) -> Iterator[
+        Tuple[ast.expr, ast.stmt]]:
+    if isinstance(node, ast.Assign):
+        yield node.value, node
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        yield node.value, node
+
+
+@register
+class CheckpointSafetyRule(ProjectRule):
+    code = "RPL010"
+    name = "checkpoint-safety"
+    description = ("state reachable from pack_state/save_checkpoint "
+                   "roots must pickle: no lambda/open()/generator "
+                   "bindings, and module-level itertools.count "
+                   "sequences must be in GLOBAL_SEQUENCES")
+    exempt_paths = ("repro/telemetry/", "repro/checkpoint/",
+                    "repro/lint/")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        scope = project.closure(_root_modules(project))
+        if not scope:
+            return
+        registered = _registered_sequences(project)
+        for pf in project.files:
+            if pf.module not in scope \
+                    or project.modules.get(pf.module) is not pf:
+                continue
+            yield from self._check_module(project, pf, registered)
+
+    def _check_module(self, project: ProjectContext, pf: ProjectFile,
+                      registered: Optional[Set[Tuple[str, str]]]
+                      ) -> Iterator[Finding]:
+        for where, value, stmt in _iter_bindings(pf.ctx.tree):
+            kind = _unpicklable_kind(value)
+            if kind is not None:
+                yield self.file_finding(
+                    pf, stmt,
+                    f"{kind} bound at {where} is reachable from a "
+                    f"checkpoint root and does not pickle; bind a "
+                    f"module-level function / path / list instead")
+        if registered is None:
+            return
+        for node in pf.ctx.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and _is_itertools_count(node.value, pf):
+                attr = node.targets[0].id
+                if (pf.module, attr) not in registered:
+                    yield self.file_finding(
+                        pf, node,
+                        f"module-level itertools.count {attr!r} is not "
+                        f"registered in GLOBAL_SEQUENCES; restored "
+                        f"runs would re-issue IDs from its initial "
+                        f"value")

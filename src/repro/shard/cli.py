@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 from .. import telemetry
@@ -103,7 +104,7 @@ def shard_main(argv=None) -> int:
     transport = record["transport"]
     state = transport["state_bytes"]
     cpu = transport["cpu_time_s"]
-    worker_cpu = sum(cpu["workers"])
+    worker_cpu = math.fsum(cpu["workers"])
     print(f"[shard] transport: {transport['windows']} windows, "
           f"barriers {transport['barrier_seconds_total']:.3f}s, "
           f"state bytes out/in "

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import gc
 import json
+import math
 import multiprocessing
 import os
 import pickle
@@ -641,7 +642,7 @@ def run_sharded(scenario: ShardScenario, n_regions: int, workers: int = 1,
         "transport": {
             "resident": True,
             "windows": window_index,
-            "barrier_seconds_total": sum(tally.barrier_seconds),
+            "barrier_seconds_total": math.fsum(tally.barrier_seconds),
             "messages": {kind: tally.messages[kind]
                          for kind in sorted(tally.messages)},
             "state_bytes": dict(sorted(tally.state_bytes.items())),

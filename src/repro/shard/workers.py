@@ -68,7 +68,7 @@ _FLOW_SEQUENCE = "repro.netsim.flows:_flow_ids"
 _MET = telemetry.metrics()
 #: Wall-clock time per window barrier (dispatch of the first window
 #: command until every region's result is folded in).  Excluded from
-#: stable metrics — see ``repro.sweep.runner.WALL_CLOCK_METRICS``.
+#: stable metrics — see ``repro.telemetry.WALL_CLOCK_METRICS``.
 H_BARRIER = _MET.histogram(
     "shard_barrier_seconds",
     "wall-clock seconds per sharded window barrier",

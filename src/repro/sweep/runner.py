@@ -42,7 +42,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from .. import telemetry
-from ..telemetry import PHASE_METRIC, MetricsRegistry
+from ..telemetry import WALL_CLOCK_METRICS, MetricsRegistry
 from .aggregate import aggregate_records
 from .drivers import CheckpointableDriver, resolve_driver
 from .spec import SweepSpec, SweepTask
@@ -63,10 +63,12 @@ _C_TASK_ERRORS = telemetry.metrics().counter(
     "sweep tasks that raised instead of completing, by exception type",
     labelnames=("kind",))
 
-#: Metric families that measure *wall-clock* time and therefore cannot
-#: be identical across executions; everything else in a sweep's merged
-#: snapshot is a pure function of (spec, seeds).
-WALL_CLOCK_METRICS = (PHASE_METRIC, "shard_barrier_seconds")
+# Metric families that measure *wall-clock* time and therefore cannot
+# be identical across executions are excluded from parity views;
+# everything else in a sweep's merged snapshot is a pure function of
+# (spec, seeds).  The list itself lives in repro.telemetry (one
+# definition, imported here and by the determinism gate scripts) and is
+# re-exported under its historical name for existing callers.
 
 
 def stable_metrics(snapshot: Dict[str, Any]) -> Dict[str, Any]:

@@ -32,9 +32,17 @@ from .trace import NULL_TRACE, EventTrace, TraceEvent
 __all__ = [
     "Counter", "DEFAULT_BUCKETS", "EventTrace", "Gauge", "Histogram",
     "Metric", "MetricError", "MetricsRegistry", "NULL_TRACE",
-    "PHASE_METRIC", "PhaseTiming", "TraceEvent", "metrics",
-    "phase_histogram", "phase_timer", "reset", "trace",
+    "PHASE_METRIC", "PhaseTiming", "TraceEvent", "WALL_CLOCK_METRICS",
+    "metrics", "phase_histogram", "phase_timer", "reset", "trace",
 ]
+
+#: Metric families whose values are wall-clock durations and therefore
+#: legitimately differ between byte-identical runs.  Determinism gates
+#: (`scripts/check_restore.py`, `scripts/check_sweep.py`) and the sweep
+#: runner's parity digest exclude exactly these families — one list,
+#: imported everywhere, so the exclusion can never drift (reprolint
+#: RPL007 enforces the single definition).
+WALL_CLOCK_METRICS = (PHASE_METRIC, "shard_barrier_seconds")
 
 #: The process-wide default instances.  Created once and never replaced
 #: (reset happens in place) so modules may cache them and their metrics.

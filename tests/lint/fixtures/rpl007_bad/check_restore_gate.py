@@ -1,0 +1,8 @@
+"""Restore gate copy: the same tuple, hand-spelled as literals."""
+
+WALL_CLOCK_METRICS = ("phase_duration_seconds", "shard_barrier_seconds")  # EXPECT: RPL007
+
+
+def stable(snapshot):
+    return {name: family for name, family in snapshot.items()
+            if name not in WALL_CLOCK_METRICS}

@@ -1,0 +1,8 @@
+"""Sweep gate copy: third definition of the same exclusion list."""
+
+WALL_CLOCK_METRICS = ("phase_duration_seconds", "shard_barrier_seconds")  # EXPECT: RPL007
+
+
+def stable(snapshot, excluded=WALL_CLOCK_METRICS):
+    return {name: family for name, family in snapshot.items()
+            if name not in excluded}

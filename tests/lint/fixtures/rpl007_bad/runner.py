@@ -1,0 +1,10 @@
+"""Sweep runner copy: builds the tuple through a cross-module Name."""
+
+from timers import PHASE_METRIC
+
+WALL_CLOCK_METRICS = (PHASE_METRIC, "shard_barrier_seconds")  # EXPECT: RPL007
+
+
+def stable_metrics(snapshot):
+    return {name: family for name, family in snapshot.items()
+            if name not in WALL_CLOCK_METRICS}

@@ -1,0 +1,3 @@
+"""Shared metric names (the single-source module the copies ignore)."""
+
+PHASE_METRIC = "phase_duration_seconds"

@@ -1,0 +1,8 @@
+"""Sweep runner: imports the exclusion list instead of copying it."""
+
+from timers import WALL_CLOCK_METRICS
+
+
+def stable_metrics(snapshot):
+    return {name: family for name, family in snapshot.items()
+            if name not in WALL_CLOCK_METRICS}

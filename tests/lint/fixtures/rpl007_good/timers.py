@@ -1,0 +1,4 @@
+"""Shared metric names — the one definition everyone imports."""
+
+PHASE_METRIC = "phase_duration_seconds"
+WALL_CLOCK_METRICS = (PHASE_METRIC, "shard_barrier_seconds")

@@ -1,0 +1,25 @@
+"""Coordinator that sends a command the worker cannot dispatch."""
+
+from worker import region_worker_main  # noqa: F401
+
+
+class Coordinator:
+    def __init__(self, handles):
+        self.handles = handles
+
+    def _fan(self, make_message):
+        for index, handle in enumerate(self.handles):
+            handle.conn.send(make_message(index))
+        return [handle.conn.recv() for handle in self.handles]
+
+    def build(self):
+        return self._fan(lambda index: ("build", index))
+
+    def advance(self, window):
+        return self._fan(lambda index: ("window", window))
+
+    def shutdown(self):
+        for handle in self.handles:
+            handle.conn.send(("shutdown",))  # EXPECT: RPL008
+        for handle in self.handles:
+            handle.conn.send(("exit",))

@@ -1,0 +1,21 @@
+"""Resident worker loop with a dead dispatch arm: "collect" has a
+handler but no peer ever sends it."""
+
+
+def region_worker_main(conn, region):
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "exit":
+            conn.send(("ok", None))
+            break
+        if kind == "build":
+            region.build(message[1])
+            reply = ("ok", region.fingerprint())
+        elif kind == "window":
+            reply = ("ok", region.advance(message[1]))
+        elif kind == "collect":  # EXPECT: RPL008
+            reply = ("ok", region.samples())
+        else:
+            reply = ("error", f"unknown command {kind!r}")
+        conn.send(reply)

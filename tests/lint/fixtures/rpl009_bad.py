@@ -1,0 +1,16 @@
+"""Shard-window aggregation; parity folds here must use math.fsum."""
+
+
+def barrier_total(samples):
+    return sum(samples)  # EXPECT: RPL009
+
+
+def merge_windows(windows):
+    total = 0.0
+    for window in windows:
+        total += window.barrier_seconds  # EXPECT: RPL009
+    return total
+
+
+def weighted(series, weights):
+    return sum(s * w for s, w in zip(series, weights))  # EXPECT: RPL009

@@ -1,0 +1,31 @@
+"""Shard-window aggregation; parity folds here must use math.fsum."""
+
+import math
+
+
+def barrier_total(samples):
+    return math.fsum(samples)
+
+
+def merge_windows(windows):
+    return math.fsum(w.barrier_seconds for w in windows)
+
+
+def weighted(series, weights):
+    return math.fsum(s * w for s, w in zip(series, weights))
+
+
+def region_count(regions):
+    # Integer counting is fine: the comprehension is blessed by len().
+    return sum(len(r.hosts) for r in regions)
+
+
+def active_count(flags):
+    return sum(1 if flag else 0 for flag in flags)
+
+
+def grow_int_accumulator(batches):
+    seen = 0
+    for batch in batches:
+        seen += len(batch)
+    return seen

@@ -1,0 +1,2 @@
+"""Checkpoint-safety fixture: a world whose snapshot roots reach
+unpicklable bindings and an unregistered module-level ID sequence."""

@@ -1,0 +1,17 @@
+"""Flow bookkeeping with one registered and one rogue ID sequence."""
+
+import itertools
+
+#: Registered in GLOBAL_SEQUENCES — survives checkpoint/restore.
+_flow_ids = itertools.count(1)
+
+#: Not registered: restored runs re-issue order IDs from 1.
+_order_ids = itertools.count(1)  # EXPECT: RPL010
+
+
+def new_flow():
+    return next(_flow_ids)
+
+
+def new_order():
+    return next(_order_ids)

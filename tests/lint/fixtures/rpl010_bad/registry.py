@@ -1,0 +1,9 @@
+"""The checkpoint machinery stub: globals registry + pack_state."""
+
+GLOBAL_SEQUENCES = (
+    ("rpl010_bad.flows", "_flow_ids"),
+)
+
+
+def pack_state(state):
+    return repr(state).encode()

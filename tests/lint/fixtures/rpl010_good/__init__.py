@@ -1,0 +1,1 @@
+"""Checkpoint-safe counterpart: everything the roots reach pickles."""

@@ -1,0 +1,14 @@
+"""Flow bookkeeping; every module-level sequence is registered."""
+
+import itertools
+
+_flow_ids = itertools.count(1)
+_order_ids = itertools.count(1)
+
+
+def new_flow():
+    return next(_flow_ids)
+
+
+def new_order():
+    return next(_order_ids)

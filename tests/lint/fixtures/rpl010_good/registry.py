@@ -1,0 +1,10 @@
+"""The checkpoint machinery stub: globals registry + pack_state."""
+
+GLOBAL_SEQUENCES = (
+    ("rpl010_good.flows", "_flow_ids"),
+    ("rpl010_good.flows", "_order_ids"),
+)
+
+
+def pack_state(state):
+    return repr(state).encode()

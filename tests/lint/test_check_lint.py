@@ -1,5 +1,6 @@
 """The CI gate script: scripts/check_lint.py."""
 
+import json
 from pathlib import Path
 import subprocess
 import sys
@@ -48,6 +49,31 @@ def test_gate_respects_baseline(tmp_path):
     proc = run_gate("--root", str(tmp_path))
     assert proc.returncode == 1
     assert ":3:" in proc.stderr
+
+
+def test_gate_runs_project_rules(tmp_path):
+    """The gate must catch cross-module findings, not just per-file
+    ones: a constant duplicated across two modules fails it."""
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "a.py").write_text('PAIR = ("x", "y")\n')
+    (src / "b.py").write_text('PAIR = ("x", "y")\n')
+    proc = run_gate("--root", str(tmp_path))
+    assert proc.returncode == 1
+    assert "RPL007" in proc.stderr
+
+
+def test_gate_writes_json_artifact(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text("import random\na = random.random()\n")
+    out = tmp_path / "lint_findings.json"
+    proc = run_gate("--root", str(tmp_path), "--json-out", str(out))
+    assert proc.returncode == 1
+    payload = json.loads(out.read_text())
+    assert payload["project"] is True
+    assert payload["files_checked"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["RPL001"]
 
 
 def test_gate_reports_stale_baseline_entries(tmp_path):

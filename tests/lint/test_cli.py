@@ -83,12 +83,43 @@ def test_unknown_rule_code_exits_two(tmp_path):
     assert "RPL999" in proc.stderr
 
 
-def test_list_rules_names_all_six():
+def test_list_rules_names_all_ten():
     proc = run_lint("--list-rules")
     assert proc.returncode == 0
     for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
-                 "RPL006"):
+                 "RPL006", "RPL007", "RPL008", "RPL009", "RPL010"):
         assert code in proc.stdout
+
+
+def test_project_mode_defaults_on_for_directories(tmp_path):
+    (tmp_path / "a.py").write_text(
+        'PAIR = ("x", "y")\n')
+    (tmp_path / "b.py").write_text(
+        'PAIR = ("x", "y")\n')
+    proc = run_lint(str(tmp_path), "--select", "RPL007", "--json")
+    payload = json.loads(proc.stdout)
+    assert payload["project"] is True
+    assert proc.returncode == 1
+    assert [f["rule"] for f in payload["findings"]] == ["RPL007",
+                                                        "RPL007"]
+
+
+def test_project_mode_defaults_off_for_single_files(tmp_path):
+    target = tmp_path / "a.py"
+    target.write_text('PAIR = ("x", "y")\n')
+    proc = run_lint(str(target), "--select", "RPL007", "--json")
+    payload = json.loads(proc.stdout)
+    assert payload["project"] is False
+    assert proc.returncode == 0
+    assert payload["findings"] == []
+
+
+def test_no_project_forces_per_file_mode(tmp_path):
+    (tmp_path / "a.py").write_text('PAIR = ("x", "y")\n')
+    (tmp_path / "b.py").write_text('PAIR = ("x", "y")\n')
+    proc = run_lint(str(tmp_path), "--no-project", "--select",
+                    "RPL007")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 def test_write_baseline_then_gate(tmp_path):

@@ -1,4 +1,5 @@
-"""The repo's own src tree must be lint-clean (empty baseline)."""
+"""The repo's own src + scripts trees must be lint-clean (empty
+baseline) — per-file rules *and* the whole-program pass."""
 
 from pathlib import Path
 
@@ -13,6 +14,18 @@ def test_src_tree_has_no_findings():
     assert result.findings == [], (
         "reprolint findings in src (fix them or suppress inline with a "
         "justification):\n" + "\n".join(str(f) for f in result.findings))
+
+
+def test_full_tree_is_clean_in_project_mode():
+    """What CI runs: `python -m repro.lint src scripts` — the per-file
+    rules plus the cross-module contracts (RPL007–RPL010)."""
+    result = lint_paths([str(REPO / "src"), str(REPO / "scripts")],
+                        project=True)
+    assert result.parse_errors == []
+    assert result.findings == [], (
+        "reprolint findings in src/scripts (fix them or suppress "
+        "inline with a justification):\n"
+        + "\n".join(str(f) for f in result.findings))
 
 
 def test_src_tree_was_actually_scanned():
